@@ -1,0 +1,25 @@
+"""Ablation: PEC buffer capacity (Table II fixes 5 x 118-bit entries).
+
+The paper sizes the buffer at five entries because "all of our benchmark
+applications use up to five large data" (Section IV-E); this ablation
+shows what starving the buffer costs.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import format_series_table
+from repro.experiments.ablations import pec_buffer_capacity
+
+
+def test_ablation_pec_buffer(benchmark):
+    out = run_once(benchmark, pec_buffer_capacity)
+    text = format_series_table(
+        "Ablation: F-Barre speedup over baseline by PEC buffer capacity",
+        out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("ablation_pec_buffer", text)
+    means = out["means"]
+    # Five entries (the paper's choice) capture ~all of the benefit.
+    assert means["5 entries"] >= means["1 entries"]
+    assert means["8 entries"] <= means["5 entries"] * 1.1

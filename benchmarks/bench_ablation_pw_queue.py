@@ -1,0 +1,25 @@
+"""Ablation: PW-queue depth (Table II fixes 48 entries).
+
+The PW-queue is double duty in Barre: it buffers walks *and* is the window
+the PEC logic scans for coalescible pending requests — deeper queues give
+one finished walk more siblings to answer.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import format_series_table
+from repro.experiments.ablations import pw_queue_depth
+
+
+def test_ablation_pw_queue(benchmark):
+    out = run_once(benchmark, pw_queue_depth)
+    text = format_series_table(
+        "Ablation: Barre speedup vs a 12-entry PW-queue",
+        out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("ablation_pw_queue", text)
+    means = out["means"]
+    # Deeper queues never hurt the mean materially.
+    assert means["queue 48"] >= means["queue 12"] * 0.97
+    assert means["queue 96"] >= means["queue 48"] * 0.95

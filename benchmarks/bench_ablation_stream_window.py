@@ -1,0 +1,24 @@
+"""Ablation: per-stream MLP window (substrate sensitivity bound).
+
+Quantifies how F-Barre's measured advantage depends on the compute model's
+latency-hiding: with little MLP translation latency is fully exposed; with
+deep windows it overlaps.  Used by EXPERIMENTS.md to bound fidelity error.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import format_series_table
+from repro.experiments.ablations import stream_window
+
+
+def test_ablation_stream_window(benchmark):
+    out = run_once(benchmark, stream_window)
+    text = format_series_table(
+        "Ablation: F-Barre speedup over baseline by stream window",
+        out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("ablation_stream_window", text)
+    means = out["means"]
+    # F-Barre wins at every latency-hiding level.
+    assert all(v > 1.0 for v in means.values())

@@ -1,0 +1,26 @@
+"""Fig 1: speedups with 8, 16, 32, and infinite PTWs.
+
+Paper shape: near-linear speedup with more PTWs for translation-bound apps,
+but the *infinite*-PTW curve saturates (~2x) because queueing is only part
+of the latency — the motivation for attacking the walks themselves.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.common.stats import geomean
+from repro.experiments import figures, format_series_table
+
+
+def test_fig01_ptw_scaling(benchmark):
+    out = run_once(benchmark, figures.fig01_ptw_scaling)
+    save_and_print("fig01", format_series_table(
+        "Fig 1: speedup over 8 PTWs", out["apps"], out["series"]))
+    means = {name: geomean(list(values.values()))
+             for name, values in out["series"].items()}
+    # More walkers help, monotonically in the mean.
+    assert means["16 PTWs"] >= 1.0
+    assert means["32 PTWs"] >= means["16 PTWs"] * 0.98
+    assert means["inf PTWs"] >= means["32 PTWs"] * 0.98
+    # ...but the curve saturates: infinite walkers add little over 32,
+    # because queueing is only part of the translation latency.
+    assert means["inf PTWs"] < 1.5 * means["32 PTWs"]

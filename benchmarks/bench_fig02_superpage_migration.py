@@ -1,0 +1,23 @@
+"""Fig 2: 2 MB super pages with runtime migration enabled.
+
+Paper shape: super pages help some apps but *hurt* hot-page apps (fwt,
+matr) because a migration drags 2 MB across the mesh and coarse placement
+concentrates traffic.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig02_superpage_migration(benchmark):
+    out = run_once(benchmark, figures.fig02_superpage_migration)
+    save_and_print("fig02", format_series_table(
+        "Fig 2: 2MB superpage speedup over 4KB (migration on)",
+        out["apps"], out["series"]))
+    values = out["series"]["2MB superpage"]
+    # The hot-page apps lose with super pages (the paper's fwt/matr drop).
+    assert values["fwt"] < 1.05
+    assert values["matr"] < 1.0
+    # Linear apps can still gain (super pages are not uniformly bad).
+    assert max(values.values()) > 1.1

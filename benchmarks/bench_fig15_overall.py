@@ -1,0 +1,31 @@
+"""Fig 15: overall performance comparison — the paper's headline result.
+
+Paper shape: Barre beats Valkyrie/Least (+10-13%); F-Barre extends the lead
+(1.36x over Least); contiguity-aware merging (2Merge/4Merge) scales it
+further (up to ~2x).
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig15_overall(benchmark):
+    out = run_once(benchmark, figures.fig15_overall)
+    text = format_series_table(
+        "Fig 15: speedup over the Table II baseline",
+        out["apps"], out["series"])
+    text += "\n\nmeans: " + ", ".join(
+        f"{k}={v:.3f}" for k, v in out["means"].items())
+    save_and_print("fig15", text)
+    means = out["means"]
+    # Headline ordering: Barre beats both state-of-the-art baselines...
+    assert means["Barre"] > means["Valkyrie"]
+    assert means["Barre"] > means["Least"]
+    # ...F-Barre beats Barre...
+    assert means["F-Barre-NoMerge"] > means["Barre"]
+    # ...and merged coalescing groups scale further.
+    assert means["F-Barre-2Merge"] > means["F-Barre-NoMerge"]
+    assert means["F-Barre-4Merge"] > means["F-Barre-2Merge"]
+    # F-Barre's advantage over Least is substantial (paper: 1.36x).
+    assert means["F-Barre-NoMerge"] / means["Least"] > 1.15

@@ -1,0 +1,24 @@
+"""Fig 17: cuckoo-filter prediction accuracy and size sensitivity.
+
+Paper shape: ~75% remote hit rate (best-effort updates drop some), ~98%
+LCF true-positive rate; 512- and 1024-row filters buy a few percent.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_kv_block, format_series_table
+
+
+def test_fig17_filters(benchmark):
+    out = run_once(benchmark, figures.fig17_filters)
+    text = format_series_table("Fig 17a: filter hit rates",
+                               out["apps"], out["series"], mean_row=False)
+    text += "\n" + format_kv_block("Fig 17b: speedup vs 256-row filters",
+                                   out["row_sweep"])
+    save_and_print("fig17", text)
+    # Local filter accuracy is near-perfect; remote is good but lossier.
+    assert out["mean_local_hit"] > 0.9
+    assert 0.4 < out["mean_remote_hit"] <= 1.0
+    assert out["mean_remote_hit"] <= out["mean_local_hit"] + 0.05
+    # Bigger filters never hurt much and tend to help.
+    assert out["row_sweep"]["1024 rows"] >= 0.97

@@ -1,0 +1,22 @@
+"""Fig 18: F-Barre speedup breakdown over plain Barre.
+
+Paper shape: coalescing-aware PTW scheduling gives 1.34x over Barre; peer
+coalescing-information sharing lifts it to 1.80x (sharing > scheduling).
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig18_breakdown(benchmark):
+    out = run_once(benchmark, figures.fig18_breakdown)
+    text = format_series_table("Fig 18: speedup over Barre",
+                               out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("fig18", text)
+    # Both optimizations help; peer sharing is the bigger lever.
+    assert out["means"]["+PTW scheduling"] >= 1.0
+    assert out["means"]["+peer sharing"] > out["means"]["+PTW scheduling"]
+    assert out["means"]["+peer sharing"] > 1.1

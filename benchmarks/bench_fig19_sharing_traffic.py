@@ -1,0 +1,18 @@
+"""Fig 19: overhead of coalescing-information sharing traffic.
+
+Paper shape: real (bandwidth-contended) filter-update traffic keeps F-Barre
+above 80% of an oracle that shares at fixed latency with no bus usage.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig19_sharing_traffic(benchmark):
+    out = run_once(benchmark, figures.fig19_sharing_traffic)
+    save_and_print("fig19", format_series_table(
+        "Fig 19: F-Barre performance as a fraction of oracle sharing",
+        out["apps"], out["series"]))
+    # The sharing traffic costs something, but under 20% on average.
+    assert 0.8 <= out["mean_fraction"] <= 1.02

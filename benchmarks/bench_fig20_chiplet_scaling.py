@@ -1,0 +1,24 @@
+"""Fig 20: F-Barre on 2/4/8/16-chiplet MCM-GPUs.
+
+Paper shape: the speedup *grows* with chiplet count (1.54/1.86/2.04/2.31x)
+because larger MCMs put more pressure on PCIe and the PTWs, which is
+exactly the contention F-Barre removes.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig20_chiplet_scaling(benchmark):
+    out = run_once(benchmark, figures.fig20_chiplet_scaling)
+    text = format_series_table(
+        "Fig 20: F-Barre speedup over same-size baseline",
+        out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("fig20", text)
+    means = out["means"]
+    assert means["2 chiplets"] > 1.0
+    # The benefit grows from small to large MCMs.
+    assert means["16 chiplets"] > means["2 chiplets"]

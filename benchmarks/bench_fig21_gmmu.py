@@ -1,0 +1,22 @@
+"""Fig 21: Barre Chord on a GMMU-integrated platform (MGvm).
+
+Paper shape: Barre Chord improves MGvm by ~1.28x and removes >30% of the
+remote page-table walks — MGvm localizes walks, Barre Chord removes them.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig21_gmmu(benchmark):
+    out = run_once(benchmark, figures.fig21_gmmu)
+    text = format_series_table("Fig 21: MGvm + Barre Chord over MGvm",
+                               out["apps"], out["series"])
+    cuts = out["remote_walk_cut"]
+    text += "\nremote-walk cut: " + ", ".join(
+        f"{a}={v:.2f}" for a, v in cuts.items())
+    save_and_print("fig21", text)
+    assert out["mean_speedup"] > 1.05
+    mean_cut = sum(cuts.values()) / len(cuts)
+    assert mean_cut > 0.2  # paper: >30% remote walks removed

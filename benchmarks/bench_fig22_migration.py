@@ -1,0 +1,18 @@
+"""Fig 22: Barre Chord with counter-based (ACUD) page migration enabled.
+
+Paper shape: Barre Chord keeps a solid advantage (~1.20x) under runtime
+migration — migrated pages drop out of their coalescing groups without
+penalty while the rest keep calculating.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig22_migration(benchmark):
+    out = run_once(benchmark, figures.fig22_migration)
+    save_and_print("fig22", format_series_table(
+        "Fig 22: Barre Chord over ACUD baseline (migration on)",
+        out["apps"], out["series"]))
+    assert out["mean_speedup"] > 1.05

@@ -1,0 +1,23 @@
+"""Fig 23: F-Barre speedup with 8, 16, and 32 PTWs.
+
+Paper shape: 2.12x / 1.86x / 1.51x — the fewer walkers the system has, the
+more F-Barre's walk removal is worth, but it still wins with 32.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig23_ptw_sensitivity(benchmark):
+    out = run_once(benchmark, figures.fig23_ptw_sensitivity)
+    text = format_series_table("Fig 23: F-Barre speedup by PTW count",
+                               out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("fig23", text)
+    means = out["means"]
+    # The advantage shrinks monotonically as walkers are added...
+    assert means["8 PTWs"] >= means["16 PTWs"] >= means["32 PTWs"] * 0.98
+    # ...but never disappears.
+    assert means["32 PTWs"] > 1.05

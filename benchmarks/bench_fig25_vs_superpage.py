@@ -1,0 +1,24 @@
+"""Fig 25: Barre Chord (4 KB pages) vs 2 MB super pages, migration on.
+
+Paper shape: Barre Chord wins ~1.22x on average; super pages can win on
+purely linear apps (fft), but hot-page apps (pr, fwt) favor Barre Chord by
+>2x because super-page migration drags megabytes per move.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig25_vs_superpage(benchmark):
+    out = run_once(benchmark, figures.fig25_vs_superpage)
+    save_and_print("fig25", format_series_table(
+        "Fig 25: Barre Chord (4KB) over superpage (2MB), migration on",
+        out["apps"], out["series"]))
+    # Barre Chord wins on average (paper: 1.22x)...
+    assert out["mean_speedup"] > 0.95
+    values = out["series"]["Barre Chord vs superpage"]
+    # ...hot-page apps clearly favor Barre Chord (paper: >2x on pr/fwt)...
+    assert min(values["fwt"], values["matr"]) > 1.3
+    # ...while super pages win on some linearly-mapped apps (paper: fft).
+    assert min(values.values()) < 0.9

@@ -1,0 +1,25 @@
+"""Fig 26: Barre Chord under round-robin, chunking, and CODA mapping.
+
+Paper shape: Barre Chord speeds up every policy (1.25x RR, 1.48x chunking,
+1.62x CODA); locality-oblivious round-robin gains the least because remote
+*data* accesses dominate its runtime.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig26_mappings(benchmark):
+    out = run_once(benchmark, figures.fig26_mappings)
+    text = format_series_table(
+        "Fig 26: F-Barre speedup under other mapping policies",
+        out["apps"], out["series"])
+    text += "\nmeans: " + ", ".join(f"{k}={v:.3f}"
+                                    for k, v in out["means"].items())
+    save_and_print("fig26", text)
+    means = out["means"]
+    # Barre Chord helps every mapping policy...
+    assert all(v > 1.0 for v in means.values())
+    # ...and locality-aware policies benefit at least as much as RR.
+    assert max(means["chunking"], means["CODA"]) >= means["round-robin"] * 0.95

@@ -1,0 +1,19 @@
+"""Fig 27a: F-Barre under GPU multi-programming (two co-located apps).
+
+Paper shape: positive speedup across category pairs (mean ~17%), with the
+middle combinations benefiting most — Low-Low barely stresses the IOMMU
+and High-High saturates it.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_kv_block
+
+
+def test_fig27a_multiapp(benchmark):
+    out = run_once(benchmark, figures.fig27a_multiapp)
+    save_and_print("fig27a", format_kv_block(
+        "Fig 27a: F-Barre speedup per category pair", out["pairs"]))
+    assert out["mean_speedup"] > 1.0
+    # Mid-heavy combinations benefit more than Low-Low.
+    assert out["pairs"]["Mid-Mid"] > out["pairs"]["Low-Low"] * 0.9

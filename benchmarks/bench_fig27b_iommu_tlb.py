@@ -1,0 +1,17 @@
+"""Fig 27b: F-Barre combined with a 2048-entry IOMMU TLB.
+
+Paper shape: even with an IOMMU-side TLB absorbing walks, F-Barre adds a
+further ~1.22x because it removes the PCIe crossing itself.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_series_table
+
+
+def test_fig27b_iommu_tlb(benchmark):
+    out = run_once(benchmark, figures.fig27b_iommu_tlb)
+    save_and_print("fig27b", format_series_table(
+        "Fig 27b: F-Barre speedup with a 2048-entry IOMMU TLB",
+        out["apps"], out["series"]))
+    assert out["mean_speedup"] > 1.05

@@ -1,0 +1,20 @@
+"""Section VII-K: hardware overhead of Barre Chord's added state.
+
+Paper numbers: 4 cuckoo filters + PEC buffer = 4.57 KB per chiplet,
+4.21% of a GPU L2 TLB; the PEC buffer itself is 590 bits.
+"""
+
+from conftest import run_once, save_and_print
+
+from repro.experiments import figures, format_kv_block
+
+
+def test_overhead_area(benchmark):
+    out = run_once(benchmark, figures.overhead_area)
+    save_and_print("overhead_area", format_kv_block(
+        "Section VII-K: per-chiplet area accounting", out))
+    # Filters + PEC buffer land near the paper's 4.57 KB.
+    assert abs(out["filters_plus_pec_kib"] - out["paper_kib"]) < 0.6
+    # Overhead vs the L2 TLB lands near the paper's 4.21%.
+    assert abs(out["overhead_vs_l2"] - out["paper_overhead"]) < 0.02
+    assert out["pec_buffer_bits"] == 590

@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each ``bench_figNN_*.py`` regenerates one paper table/figure: it runs the
+experiment once (``benchmark.pedantic(rounds=1)``), prints the series the
+paper plots, writes the same text under ``results/``, and asserts the
+paper's qualitative shape (who wins, roughly by how much).
+
+Tune runtime with ``REPRO_BENCH_SCALE`` (default 0.4; larger = slower but
+less noisy) and clear ``.bench_cache`` to force re-simulation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a figure's series and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

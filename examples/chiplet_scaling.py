@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Fig 20 in miniature: F-Barre's advantage grows with MCM size.
+
+Larger MCM-GPUs put more chiplets behind the same PCIe link and walker
+pool, so the contention F-Barre removes grows with scale.  Prints a bar
+chart of the speedup at 2/4/8/16 chiplets for one app.
+
+Run:  python examples/chiplet_scaling.py [app]
+"""
+
+import sys
+
+from repro.experiments import configs, format_bar_chart
+from repro.gpu import run_app
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "st2d"
+    scale = 0.2
+    speedups = {}
+    for chiplets in (2, 4, 8, 16):
+        base = run_app(configs.baseline(num_chiplets=chiplets),
+                       get_workload(app), scale)
+        fb = run_app(configs.fbarre(num_chiplets=chiplets),
+                     get_workload(app), scale)
+        speedups[f"{chiplets:>2} chiplets"] = fb.speedup_over(base)
+    print(format_bar_chart(
+        f"F-Barre speedup over baseline for {app!r} (| marks 1.0x)",
+        speedups, reference=1.0))
+
+
+if __name__ == "__main__":
+    main()

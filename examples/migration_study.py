@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Super pages vs Barre Chord under runtime page migration (Figs 2 & 25).
+
+Enables ACUD-style counter-based migration and compares 2 MB super pages
+against Barre Chord with 4 KB pages on a hot-page workload: each super-page
+migration drags 512x the data across the mesh, while Barre Chord migrates
+single pages and simply drops them from their coalescing groups.
+
+Run:  python examples/migration_study.py [app]
+"""
+
+import sys
+
+from repro.experiments import configs
+from repro.gpu import run_app
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "fwt"
+    scale = 0.3
+    points = {
+        "4KB baseline + migration":
+            configs.with_migration(configs.baseline()),
+        "2MB superpage + migration":
+            configs.with_migration(configs.superpage()),
+        "Barre Chord 4KB + migration":
+            configs.with_migration(configs.fbarre()),
+    }
+    results = {name: run_app(cfg, get_workload(app), scale)
+               for name, cfg in points.items()}
+    base = results["4KB baseline + migration"]
+    print(f"App {app!r} with ACUD migration (threshold 16):\n")
+    print(f"{'scheme':30s} {'cycles':>10} {'speedup':>8} {'migrations':>11} "
+          f"{'remote data':>12}")
+    for name, result in results.items():
+        print(f"{name:30s} {result.cycles:>10} "
+              f"{result.speedup_over(base):>8.2f} {result.migrations:>11} "
+              f"{result.remote_data_fraction:>12.1%}")
+    chord = results["Barre Chord 4KB + migration"]
+    superpage = results["2MB superpage + migration"]
+    print(f"\nBarre Chord vs super page: "
+          f"{superpage.cycles / chord.cycles:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

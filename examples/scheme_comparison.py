@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare every translation scheme on a chosen set of apps (mini Fig 15).
+
+Runs the baseline, an ideal shared L2, Valkyrie, Least, Barre, and F-Barre
+on one app per MPKI class and prints a speedup table plus the translation-
+source breakdown that explains *why* each scheme wins or loses.
+
+Run:  python examples/scheme_comparison.py [scale]
+"""
+
+import sys
+
+from repro.experiments import configs, format_series_table
+from repro.gpu import run_app
+from repro.workloads import get_workload
+
+APPS = ["gemv", "st2d", "spmv"]  # one per MPKI class
+SCHEMES = {
+    "shared-L2": configs.shared_l2(),
+    "Valkyrie": configs.valkyrie(),
+    "Least": configs.least(),
+    "Barre": configs.barre(),
+    "F-Barre": configs.fbarre(),
+}
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    base = {app: run_app(configs.baseline(), get_workload(app), scale)
+            for app in APPS}
+    series = {}
+    detail_lines = []
+    for name, cfg in SCHEMES.items():
+        row = {}
+        for app in APPS:
+            result = run_app(cfg, get_workload(app), scale)
+            row[app] = result.speedup_over(base[app])
+            detail_lines.append(
+                f"{name:10s} {app:5s}: walks={result.walks:>6} "
+                f"pec={result.pec_coalesced:>6} "
+                f"remote_hits={result.remote_hits:>6} "
+                f"pcie_pkts={result.pcie_packets:>7}")
+        series[name] = row
+    print(format_series_table("Speedup over Table II baseline",
+                              APPS, series))
+    print("\nTranslation sources:")
+    print("\n".join(detail_lines))
+
+
+if __name__ == "__main__":
+    main()

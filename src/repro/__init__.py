@@ -1,0 +1,39 @@
+"""Barre Chord reproduction: efficient virtual memory translation for MCM-GPUs.
+
+Public entry points:
+
+* :class:`repro.SimConfig` — simulation configuration (paper Table II).
+* :func:`repro.run_app` — simulate one benchmark under a configuration.
+* :func:`repro.get_workload` / :data:`repro.APP_ORDER` — the 19 Table I
+  benchmarks as calibrated trace generators.
+* :mod:`repro.experiments.figures` — one runner per paper table/figure.
+* :mod:`repro.experiments.configs` — canonical scheme configurations
+  (baseline, Valkyrie, Least, Barre, F-Barre, MGvm, super pages).
+
+Quick example::
+
+    from repro import BackendKind, SimConfig, get_workload, run_app
+
+    result = run_app(SimConfig(backend=BackendKind.FBARRE),
+                     get_workload("spmv"))
+    print(result.cycles, result.mpki, result.coalesced_fraction)
+"""
+
+from repro.common import BackendKind, MappingKind, SimConfig
+from repro.gpu import McmGpuSimulator, SimResult, run_app
+from repro.workloads import APP_ORDER, get_workload, make_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_ORDER",
+    "BackendKind",
+    "MappingKind",
+    "McmGpuSimulator",
+    "SimConfig",
+    "SimResult",
+    "__version__",
+    "get_workload",
+    "make_suite",
+    "run_app",
+]

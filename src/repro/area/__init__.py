@@ -1,0 +1,19 @@
+"""Analytical area/overhead model (Section VII-K)."""
+
+from repro.area.model import (
+    AreaReport,
+    chiplet_area_report,
+    filter_bits,
+    l2_tlb_bits,
+    l2_tlb_storage_bits,
+    tlb_entry_growth_fraction,
+)
+
+__all__ = [
+    "AreaReport",
+    "chiplet_area_report",
+    "filter_bits",
+    "l2_tlb_bits",
+    "l2_tlb_storage_bits",
+    "tlb_entry_growth_fraction",
+]

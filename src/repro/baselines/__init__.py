@@ -1,0 +1,36 @@
+"""The paper's comparison schemes, gathered for discoverability.
+
+Each baseline is a combination of a miss-handler strategy (in
+:mod:`repro.core.translation`) and a canonical configuration (in
+:mod:`repro.experiments.configs`):
+
+* **Valkyrie** [8] — intra-chiplet L1 TLB probing + throttled L2
+  translation prefetch: :func:`valkyrie`.
+* **Least** [27] — inter-chiplet exact-entry L2 TLB sharing with an ideal
+  residency tracker: :func:`least` / :class:`LeastHandler`.
+* **Ideal shared L2 TLB** (Fig 6) — one physical 4x L2 TLB: :func:`shared_l2`.
+* **2 MB super pages** (Figs 2, 24, 25) — :func:`superpage`.
+* **MGvm** [41] — per-chiplet GMMUs over a distributed page table with
+  coarse mapping: :func:`mgvm` / :class:`repro.gmmu.Gmmu`.
+"""
+
+from repro.core.translation import AtsHandler, LeastHandler
+from repro.experiments.configs import (
+    baseline,
+    least,
+    mgvm,
+    shared_l2,
+    superpage,
+    valkyrie,
+)
+
+__all__ = [
+    "AtsHandler",
+    "LeastHandler",
+    "baseline",
+    "least",
+    "mgvm",
+    "shared_l2",
+    "superpage",
+    "valkyrie",
+]

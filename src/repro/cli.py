@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``    — simulate one app under one scheme and print the results.
+* ``suite``  — run all 19 apps under one scheme (prints a per-app table).
+* ``figure`` — regenerate one paper figure/table by name (e.g. fig15).
+* ``list``   — list apps, schemes, and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    configs,
+    figures,
+    format_bar_chart,
+    format_series_table,
+)
+from repro.experiments.runner import run_point, speedups, suite_results
+from repro.workloads.suite import APP_ORDER, CATEGORY_OF
+
+SCHEMES = {
+    "baseline": configs.baseline,
+    "shared-l2": configs.shared_l2,
+    "valkyrie": configs.valkyrie,
+    "least": configs.least,
+    "barre": configs.barre,
+    "fbarre": configs.fbarre,
+    "mgvm": configs.mgvm,
+}
+
+FIGURES = {
+    "table1": figures.table1_mpki,
+    "fig01": figures.fig01_ptw_scaling,
+    "fig02": figures.fig02_superpage_migration,
+    "fig04": figures.fig04_mshr,
+    "fig05": figures.fig05_vpn_gap,
+    "fig06": figures.fig06_shared_l2,
+    "fig15": figures.fig15_overall,
+    "fig16": figures.fig16_ats,
+    "fig17": figures.fig17_filters,
+    "fig18": figures.fig18_breakdown,
+    "fig19": figures.fig19_sharing_traffic,
+    "fig20": figures.fig20_chiplet_scaling,
+    "fig21": figures.fig21_gmmu,
+    "fig22": figures.fig22_migration,
+    "fig23": figures.fig23_ptw_sensitivity,
+    "fig24": figures.fig24_page_size,
+    "fig25": figures.fig25_vs_superpage,
+    "fig26": figures.fig26_mappings,
+    "fig27a": figures.fig27a_multiapp,
+    "fig27b": figures.fig27b_iommu_tlb,
+    "area": figures.overhead_area,
+    "ext-ondemand": figures.ext_ondemand_paging,
+    "ablation-pw-queue": ablations.pw_queue_depth,
+    "ablation-pec-buffer": ablations.pec_buffer_capacity,
+    "ablation-stream-window": ablations.stream_window,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Barre Chord (ISCA 2024) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one app under one scheme")
+    run.add_argument("app", choices=APP_ORDER)
+    run.add_argument("--scheme", choices=sorted(SCHEMES), default="fbarre")
+    run.add_argument("--scale", type=float, default=0.3,
+                     help="trace scale (default 0.3)")
+    run.add_argument("--baseline", action="store_true",
+                     help="also run the baseline and report the speedup")
+
+    suite = sub.add_parser("suite", help="run all apps under one scheme")
+    suite.add_argument("--scheme", choices=sorted(SCHEMES), default="fbarre")
+    suite.add_argument("--scale", type=float, default=0.3)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", type=float, default=None)
+
+    report = sub.add_parser(
+        "report", help="stitch results/ into results/SUMMARY.md")
+    report.add_argument("--results", default="results",
+                        help="bench output directory (default: results)")
+
+    sub.add_parser("list", help="list apps, schemes, figures")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_point(SCHEMES[args.scheme](), args.app, scale=args.scale)
+    print(f"{args.app} under {args.scheme}:")
+    print(f"  cycles            {result.cycles}")
+    print(f"  L2 TLB MPKI       {result.mpki:.2f}")
+    print(f"  ATS requests      {result.ats_requests}")
+    print(f"  walks / coalesced {result.walks} / {result.pec_coalesced}")
+    print(f"  remote data       {result.remote_data_fraction:.1%}")
+    if args.baseline:
+        base = run_point(configs.baseline(), args.app, scale=args.scale)
+        print(f"  speedup vs baseline {result.speedup_over(base):.2f}x")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    cfg = SCHEMES[args.scheme]()
+    results = suite_results(cfg, list(APP_ORDER), args.scale)
+    base = suite_results(configs.baseline(), list(APP_ORDER), args.scale)
+    series = {
+        "speedup": speedups(results, base),
+        "mpki": {a: results[a].mpki for a in APP_ORDER},
+    }
+    print(format_series_table(f"{args.scheme} across the Table I suite",
+                              list(APP_ORDER), series))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fn = FIGURES[args.name]
+    out = fn() if args.scale is None else fn(scale=args.scale)
+    if "series" in out and "apps" in out:
+        print(format_series_table(args.name, out["apps"], out["series"],
+                                  mean_row=False))
+    scalars = {k: v for k, v in out.items()
+               if isinstance(v, (int, float))}
+    for key, value in scalars.items():
+        print(f"{key} = {value:.4f}" if isinstance(value, float)
+              else f"{key} = {value}")
+    for key in ("means", "pairs", "row_sweep"):
+        if key in out:
+            print(format_bar_chart(f"{key} (| marks 1.0x)", out[key],
+                                   reference=1.0))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.summary import write_summary
+    path = write_summary(args.results)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("apps: " + ", ".join(f"{a}({CATEGORY_OF[a][0]})"
+                               for a in APP_ORDER))
+    print("schemes: " + ", ".join(sorted(SCHEMES)))
+    print("figures: " + ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "suite": _cmd_suite,
+                "figure": _cmd_figure, "report": _cmd_report,
+                "list": _cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Shared substrate: event kernel, configuration, addresses, statistics."""
+
+from repro.common.addresses import (
+    GlobalPfn,
+    MAX_VPN,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PAGE_SIZE_64K,
+    VPN_BITS,
+    check_vpn,
+    pages_for_bytes,
+    split_global_pfn,
+    vpn_of,
+)
+from repro.common.config import (
+    BackendKind,
+    CuckooConfig,
+    IommuConfig,
+    LinkConfig,
+    MappingKind,
+    MemoryMap,
+    MigrationConfig,
+    SimConfig,
+    TlbConfig,
+)
+from repro.common.errors import (
+    AddressError,
+    AllocationError,
+    ConfigError,
+    FilterError,
+    ReproError,
+    SimulationError,
+    TranslationError,
+)
+from repro.common.events import EventQueue
+from repro.common.stats import Histogram, StatSet, geomean
+
+__all__ = [
+    "AddressError",
+    "AllocationError",
+    "BackendKind",
+    "ConfigError",
+    "CuckooConfig",
+    "EventQueue",
+    "FilterError",
+    "GlobalPfn",
+    "Histogram",
+    "IommuConfig",
+    "LinkConfig",
+    "MAX_VPN",
+    "MappingKind",
+    "MemoryMap",
+    "MigrationConfig",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_4K",
+    "PAGE_SIZE_64K",
+    "ReproError",
+    "SimConfig",
+    "SimulationError",
+    "StatSet",
+    "TlbConfig",
+    "TranslationError",
+    "VPN_BITS",
+    "check_vpn",
+    "geomean",
+    "pages_for_bytes",
+    "split_global_pfn",
+    "vpn_of",
+]

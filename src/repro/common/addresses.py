@@ -1,0 +1,81 @@
+"""Address arithmetic shared across the simulator.
+
+The simulator works at page granularity.  A *VPN* (virtual page number) is a
+non-negative integer below 2**40 (the paper's filter-update messages carry a
+40-bit VPN, Section V-A2).  A *local PFN* indexes a frame within one GPU
+chiplet's memory; a *global PFN* is ``chiplet_base + local_pfn`` where each
+chiplet owns a disjoint base window (Fig 7a's "global PFN map").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import AddressError
+
+#: Width of a virtual page number in bits (Section V-A2).
+VPN_BITS = 40
+MAX_VPN = (1 << VPN_BITS) - 1
+
+#: Default page size used by the paper's baseline (Table II context).
+PAGE_SIZE_4K = 4 * 1024
+PAGE_SIZE_64K = 64 * 1024
+PAGE_SIZE_2M = 2 * 1024 * 1024
+
+SUPPORTED_PAGE_SIZES = (PAGE_SIZE_4K, PAGE_SIZE_64K, PAGE_SIZE_2M)
+
+
+def check_vpn(vpn: int) -> int:
+    """Validate a VPN and return it unchanged."""
+    if not 0 <= vpn <= MAX_VPN:
+        raise AddressError(f"VPN {vpn:#x} outside 40-bit range")
+    return vpn
+
+
+def pages_for_bytes(num_bytes: int, page_size: int = PAGE_SIZE_4K) -> int:
+    """Number of pages needed to hold ``num_bytes`` (ceiling division)."""
+    if num_bytes < 0:
+        raise AddressError(f"negative byte count {num_bytes}")
+    if page_size not in SUPPORTED_PAGE_SIZES:
+        raise AddressError(f"unsupported page size {page_size}")
+    return -(-num_bytes // page_size)
+
+
+def vpn_of(vaddr: int, page_size: int = PAGE_SIZE_4K) -> int:
+    """Virtual page number containing byte address ``vaddr``."""
+    if vaddr < 0:
+        raise AddressError(f"negative virtual address {vaddr:#x}")
+    return vaddr // page_size
+
+
+@dataclass(frozen=True)
+class GlobalPfn:
+    """A physical frame decomposed into its chiplet and local frame.
+
+    The paper's PFN calculation (Section IV-F) repeatedly moves between the
+    global PFN written in the PTE and the (chiplet, local PFN) pair; this
+    small value type keeps that conversion in one place.
+    """
+
+    chiplet: int
+    local_pfn: int
+
+    def to_global(self, chiplet_bases: tuple[int, ...]) -> int:
+        """Recombine into a flat global PFN using per-chiplet bases."""
+        if not 0 <= self.chiplet < len(chiplet_bases):
+            raise AddressError(f"chiplet {self.chiplet} has no base PFN")
+        return chiplet_bases[self.chiplet] + self.local_pfn
+
+
+def split_global_pfn(global_pfn: int, chiplet_bases: tuple[int, ...],
+                     frames_per_chiplet: int) -> GlobalPfn:
+    """Decompose a global PFN into (chiplet, local PFN).
+
+    ``chiplet_bases`` must be sorted ascending and spaced at least
+    ``frames_per_chiplet`` apart, which :class:`repro.common.config.MemoryMap`
+    guarantees.
+    """
+    for chiplet, base in enumerate(chiplet_bases):
+        if base <= global_pfn < base + frames_per_chiplet:
+            return GlobalPfn(chiplet=chiplet, local_pfn=global_pfn - base)
+    raise AddressError(f"global PFN {global_pfn:#x} not in any chiplet window")

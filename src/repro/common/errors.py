@@ -1,0 +1,41 @@
+"""Exception hierarchy for the Barre Chord reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent simulation configuration."""
+
+
+class AddressError(ReproError):
+    """An address, VPN, or PFN is malformed or out of range."""
+
+
+class AllocationError(ReproError):
+    """The frame allocator or driver could not satisfy an allocation."""
+
+
+class TranslationError(ReproError):
+    """The translation path encountered an impossible state.
+
+    Raised for example when a page-table walk targets an unmapped VPN, which
+    in this simulator signals a bug in trace generation or page mapping
+    rather than a demand fault (the paper assumes pages are mapped before
+    kernel launch, Section II-B).
+    """
+
+
+class FilterError(ReproError):
+    """A cuckoo-filter operation failed (e.g. insertion after max kicks)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (e.g. deadlock)."""

@@ -1,0 +1,79 @@
+"""A minimal discrete-event simulation kernel.
+
+Components schedule callbacks at future cycle timestamps.  The kernel is a
+binary heap keyed on ``(time, sequence)`` so simultaneous events fire in
+schedule order, which makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.common.errors import SimulationError
+
+
+class EventQueue:
+    """Cycle-accurate event loop.
+
+    >>> q = EventQueue()
+    >>> fired = []
+    >>> _ = q.schedule(5, lambda: fired.append(q.now))
+    >>> q.run()
+    >>> fired
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable[[], Any]]] = []
+        self._seq = 0
+        self._events_fired = 0
+
+    def schedule(self, delay: int, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + int(delay), self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` at absolute cycle ``time`` (``time >= now``)."""
+        self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed since construction."""
+        return self._events_fired
+
+    def step(self) -> bool:
+        """Fire the next event; return False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self.now = time
+        self._events_fired += 1
+        callback()
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping at cycle ``until``.
+
+        ``max_events`` guards against accidental infinite event loops in
+        tests; exceeding it raises :class:`SimulationError`.
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely an event loop")

@@ -1,0 +1,106 @@
+"""Statistics collection used by every simulated component.
+
+Components own a :class:`StatSet` and bump named counters; experiment runners
+read them out as plain dictionaries.  Keeping this untyped-but-uniform avoids
+each component inventing its own bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class StatSet:
+    """A named bag of integer counters and accumulating means."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Counter[str] = Counter()
+        self._sums: defaultdict[str, float] = defaultdict(float)
+        self._counts: Counter[str] = Counter()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def observe(self, key: str, value: float) -> None:
+        """Record one sample of a quantity whose mean we report."""
+        self._sums[key] += value
+        self._counts[key] += 1
+
+    def count(self, key: str) -> int:
+        """Current value of counter ``key`` (0 if never bumped)."""
+        return self._counters[key]
+
+    def mean(self, key: str) -> float:
+        """Mean of observed samples for ``key`` (0.0 if none)."""
+        n = self._counts[key]
+        return self._sums[key] / n if n else 0.0
+
+    def samples(self, key: str) -> int:
+        """Number of samples observed for ``key``."""
+        return self._counts[key]
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten counters and means into one dictionary."""
+        out: dict[str, float] = dict(self._counters)
+        for key in self._sums:
+            out[f"{key}_mean"] = self.mean(key)
+            out[f"{key}_samples"] = self._counts[key]
+        return out
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """counter[numerator] / counter[denominator], 0.0 when empty."""
+        denom = self._counters[denominator]
+        return self._counters[numerator] / denom if denom else 0.0
+
+
+@dataclass
+class Histogram:
+    """Integer-valued histogram (used for the Fig 5 VPN-gap distribution)."""
+
+    buckets: Counter = field(default_factory=Counter)
+
+    def add(self, value: int) -> None:
+        self.buckets[value] += 1
+
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def fraction_at(self, value: int) -> float:
+        total = self.total()
+        return self.buckets[value] / total if total else 0.0
+
+    def fraction_in(self, values: Iterable[int]) -> float:
+        total = self.total()
+        if not total:
+            return 0.0
+        return sum(self.buckets[v] for v in values) / total
+
+    def quantile(self, q: float) -> int:
+        """Smallest value v such that P(X <= v) >= q."""
+        total = self.total()
+        if not total:
+            return 0
+        target = q * total
+        seen = 0
+        for value in sorted(self.buckets):
+            seen += self.buckets[value]
+            if seen >= target:
+                return value
+        return max(self.buckets)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's convention for average speedups."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(vals))

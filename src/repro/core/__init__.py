@@ -1,0 +1,18 @@
+"""Barre Chord core: F-Barre agents and per-scheme miss handlers."""
+
+from repro.core.fbarre import CoalescingAgent, FilterUpdate
+from repro.core.translation import (
+    AtsHandler,
+    FBarreHandler,
+    LeastHandler,
+    MissHandler,
+)
+
+__all__ = [
+    "AtsHandler",
+    "CoalescingAgent",
+    "FBarreHandler",
+    "FilterUpdate",
+    "LeastHandler",
+    "MissHandler",
+]

@@ -1,0 +1,224 @@
+"""L2-miss resolution strategies (one per translation scheme).
+
+A :class:`MissHandler` receives the L2 TLB misses of one chiplet and must
+eventually call back with a :class:`~repro.memsim.tlb.TlbEntry`.  The
+concrete handlers implement the paper's design points:
+
+* :class:`AtsHandler` — baseline and Barre: every miss crosses PCIe to the
+  IOMMU (Barre's coalescing happens inside the IOMMU).
+* :class:`FBarreHandler` — tries intra-MCM translation first: local
+  coalesced calculation, then RCF-predicted peer calculation, then ATS.
+* :class:`LeastHandler` — MICRO'21-style inter-chiplet exact-entry TLB
+  sharing with an ideal (100% true-positive) residency tracker.
+
+Valkyrie's L2-side behaviour (translation prefetch) is a flag on
+:class:`AtsHandler`; its L1 probing lives in the chiplet front-end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet
+from repro.core.fbarre import CoalescingAgent
+from repro.iommu.ats import AtsRequest, AtsResponse
+from repro.memsim.links import Link, Mesh
+from repro.memsim.tlb import Tlb, TlbEntry
+
+#: Cycles for a filter (LCF/RCF) check — tiny next to a TLB access
+#: (Section V-A1 measures 1.7% of TLB power; we charge one cycle).
+FILTER_CHECK_LATENCY = 1
+#: Cycles a peer spends serving a coalescing request: LCF check + L2 probe.
+PEER_SERVE_LATENCY = 11
+
+DoneCallback = Callable[[TlbEntry], None]
+
+
+class MissHandler(ABC):
+    """Resolves one chiplet's L2 TLB misses."""
+
+    @abstractmethod
+    def resolve(self, pasid: int, vpn: int, done: DoneCallback) -> None:
+        """Translate (pasid, vpn); call ``done(entry)`` when available."""
+
+
+class AtsHandler(MissHandler):
+    """Send an ATS request over the (shared) PCIe link to the IOMMU."""
+
+    def __init__(self, queue: EventQueue, chiplet_id: int, pcie_up: Link,
+                 deliver_to_iommu: Callable[[AtsRequest], None], *,
+                 prefetch_next: bool = False,
+                 is_mapped: Callable[[int, int], bool] | None = None) -> None:
+        self.queue = queue
+        self.chiplet_id = chiplet_id
+        self.pcie_up = pcie_up
+        self.deliver_to_iommu = deliver_to_iommu
+        self.prefetch_next = prefetch_next
+        self.is_mapped = is_mapped or (lambda pasid, vpn: False)
+        self.stats = StatSet(f"ats.{chiplet_id}")
+        self._waiting: dict[tuple[int, int], list[DoneCallback]] = {}
+        #: Outstanding prefetches (key -> issue cycle).  Bounded, and stale
+        #: entries expire: the IOMMU silently drops prefetch walks under
+        #: pressure, so a slot must not leak forever.
+        self._prefetching: dict[tuple[int, int], int] = {}
+        self.max_prefetches = 2
+        self.prefetch_expiry = 10_000
+        #: Hook for prefetch fills (wired to the chiplet's L2 insert).
+        self.on_prefetch_fill: Callable[[TlbEntry], None] | None = None
+
+    def resolve(self, pasid: int, vpn: int, done: DoneCallback) -> None:
+        key = (pasid, vpn)
+        waiters = self._waiting.setdefault(key, [])
+        waiters.append(done)
+        if len(waiters) == 1:
+            self._send(AtsRequest(pasid=pasid, vpn=vpn,
+                                  src_chiplet=self.chiplet_id,
+                                  issue_time=self.queue.now))
+        if self.prefetch_next:
+            self._maybe_prefetch(pasid, vpn + 1)
+
+    def _send(self, request: AtsRequest) -> None:
+        self.stats.bump("ats_sent")
+        self.pcie_up.send(request, self.deliver_to_iommu)
+
+    def _maybe_prefetch(self, pasid: int, vpn: int) -> None:
+        key = (pasid, vpn)
+        now = self.queue.now
+        for stale in [k for k, t in self._prefetching.items()
+                      if now - t > self.prefetch_expiry]:
+            del self._prefetching[stale]
+        if len(self._prefetching) >= self.max_prefetches:
+            self.stats.bump("prefetch_throttled")
+            return
+        if key in self._waiting or key in self._prefetching:
+            return
+        if not self.is_mapped(pasid, vpn):
+            return
+        self._prefetching[key] = now
+        self.stats.bump("prefetches")
+        self._send(AtsRequest(pasid=pasid, vpn=vpn,
+                              src_chiplet=self.chiplet_id,
+                              issue_time=now, prefetch=True))
+
+    def deliver_response(self, response: AtsResponse) -> None:
+        """An ATS response arrived over PCIe for this chiplet."""
+        key = (response.pasid, response.vpn)
+        entry = TlbEntry(pasid=response.pasid, vpn=response.vpn,
+                         global_pfn=response.global_pfn,
+                         coal=response.coal, pec=response.pec)
+        if response.prefetch:
+            self._prefetching.pop(key, None)
+            if self.on_prefetch_fill is not None:
+                self.on_prefetch_fill(entry)
+            return
+        for done in self._waiting.pop(key, []):
+            done(entry)
+
+
+class FBarreHandler(MissHandler):
+    """Intra-MCM translation first (Fig 11), ATS as the fallback."""
+
+    def __init__(self, queue: EventQueue, chiplet_id: int,
+                 agent: CoalescingAgent, mesh: Mesh, ats: AtsHandler,
+                 l2_probe_latency: int) -> None:
+        self.queue = queue
+        self.chiplet_id = chiplet_id
+        self.agent = agent
+        self.mesh = mesh
+        self.ats = ats
+        self.l2_probe_latency = l2_probe_latency
+        self.stats = StatSet(f"fbarre_handler.{chiplet_id}")
+        #: Peer agents, wired by the MCM after all chiplets exist.
+        self.peers: dict[int, "FBarreHandler"] = {}
+
+    def resolve(self, pasid: int, vpn: int, done: DoneCallback) -> None:
+        entry = self.agent.try_local(pasid, vpn)
+        if entry is not None:
+            self.stats.bump("local_hits")
+            latency = FILTER_CHECK_LATENCY + self.l2_probe_latency
+            self.queue.schedule(latency, lambda: done(entry))
+            return
+        peer = self.agent.predict_sharer(pasid, vpn)
+        if peer is not None:
+            self.stats.bump("remote_attempts")
+            self._ask_peer(peer, pasid, vpn, done)
+            return
+        self.stats.bump("ats_fallbacks")
+        self.ats.resolve(pasid, vpn, done)
+
+    def _ask_peer(self, peer: int, pasid: int, vpn: int,
+                  done: DoneCallback) -> None:
+        def at_peer(_payload: object) -> None:
+            handler = self.peers[peer]
+            entry = handler.agent.handle_peer_request(pasid, vpn)
+            self.queue.schedule(
+                PEER_SERVE_LATENCY,
+                lambda: self.mesh.send(peer, self.chiplet_id, entry, back))
+
+        def back(entry: TlbEntry | None) -> None:
+            if entry is None:
+                self.stats.bump("remote_misses")
+                self.ats.resolve(pasid, vpn, done)
+                return
+            self.stats.bump("remote_hits")
+            done(TlbEntry(pasid=pasid, vpn=vpn, global_pfn=entry.global_pfn,
+                          coal=entry.coal, pec=entry.pec)
+                 if entry.vpn != vpn else entry)
+
+        self.mesh.send(self.chiplet_id, peer, None, at_peer)
+
+
+class LeastHandler(MissHandler):
+    """Inter-chiplet exact TLB sharing (Least [27]) with an ideal tracker.
+
+    The paper implements Least with "an ideal 1024-entry cuckoo filter (100%
+    true positive) as the local TLB tracker"; we model the ideal tracker by
+    consulting peer L2 contents directly (zero false positives/negatives)
+    while still paying the mesh round trip and probe latency.
+    """
+
+    def __init__(self, queue: EventQueue, chiplet_id: int, mesh: Mesh,
+                 ats: AtsHandler, l2_probe_latency: int,
+                 tracker_capacity: int = 1024) -> None:
+        self.queue = queue
+        self.chiplet_id = chiplet_id
+        self.mesh = mesh
+        self.ats = ats
+        self.l2_probe_latency = l2_probe_latency
+        self.tracker_capacity = tracker_capacity
+        self.stats = StatSet(f"least.{chiplet_id}")
+        #: Peer chiplet id -> that chiplet's L2 TLB (ideal tracker view).
+        self.peer_l2s: dict[int, Tlb] = {}
+
+    def _predict(self, pasid: int, vpn: int) -> int | None:
+        for peer in sorted(self.peer_l2s):
+            l2 = self.peer_l2s[peer]
+            if l2.probe(pasid, vpn) is not None:
+                return peer
+        return None
+
+    def resolve(self, pasid: int, vpn: int, done: DoneCallback) -> None:
+        peer = self._predict(pasid, vpn)
+        if peer is None:
+            self.stats.bump("ats_fallbacks")
+            self.ats.resolve(pasid, vpn, done)
+            return
+        self.stats.bump("remote_attempts")
+
+        def at_peer(_payload: object) -> None:
+            entry = self.peer_l2s[peer].probe(pasid, vpn)
+            self.queue.schedule(
+                self.l2_probe_latency,
+                lambda: self.mesh.send(peer, self.chiplet_id, entry, back))
+
+        def back(entry: TlbEntry | None) -> None:
+            if entry is None:
+                self.stats.bump("remote_misses")  # evicted in flight
+                self.ats.resolve(pasid, vpn, done)
+                return
+            self.stats.bump("remote_hits")
+            done(entry)
+
+        self.mesh.send(self.chiplet_id, peer, None, at_peer)

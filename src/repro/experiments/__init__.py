@@ -1,0 +1,29 @@
+"""Experiment harness: cached runners and per-figure reproductions."""
+
+from repro.experiments import ablations, configs, figures
+from repro.experiments.report import (
+    format_bar_chart,
+    format_kv_block,
+    format_series_table,
+)
+from repro.experiments.runner import (
+    bench_scale,
+    run_pair,
+    run_point,
+    speedups,
+    suite_results,
+)
+
+__all__ = [
+    "ablations",
+    "bench_scale",
+    "configs",
+    "figures",
+    "format_bar_chart",
+    "format_kv_block",
+    "format_series_table",
+    "run_pair",
+    "run_point",
+    "speedups",
+    "suite_results",
+]

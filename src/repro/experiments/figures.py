@@ -1,0 +1,405 @@
+"""One experiment function per paper table/figure.
+
+Every function returns a plain dict — ``{"apps": [...], "series": {name ->
+{app -> value}}, ...scalars}`` — that the matching benchmark prints and
+asserts on.  ``apps=None`` runs the full Table I suite; the heaviest sweeps
+default to a balanced six-app subset (two per MPKI class), the same
+device the paper uses for Fig 24-right.
+"""
+
+from __future__ import annotations
+
+from repro.area import chiplet_area_report
+from repro.common.addresses import PAGE_SIZE_2M, PAGE_SIZE_4K, PAGE_SIZE_64K
+from repro.common.stats import geomean
+from repro.experiments import configs
+from repro.experiments.runner import (
+    run_pair,
+    run_point,
+    suite_results,
+    speedups,
+)
+from repro.workloads.suite import APP_ORDER, CATEGORY_OF, get_workload
+
+#: Two apps per MPKI class — used for the heaviest parameter sweeps.
+SUBSET6 = ["gemv", "fft", "cov", "st2d", "matr", "spmv"]
+
+
+def _apps(apps):
+    return list(APP_ORDER) if apps is None else list(apps)
+
+
+# --------------------------------------------------------------------------
+# Motivation figures (Section I and III)
+# --------------------------------------------------------------------------
+
+def fig01_ptw_scaling(apps=None, scale=None):
+    """Fig 1: speedup with 8/16/32/infinite PTWs (normalized to 8)."""
+    apps = _apps(apps)
+    base = suite_results(configs.with_ptws(configs.baseline(), 8), apps, scale)
+    series = {}
+    for label, ptws in [("16 PTWs", 16), ("32 PTWs", 32),
+                        ("inf PTWs", 4096)]:
+        results = suite_results(configs.with_ptws(configs.baseline(), ptws),
+                                apps, scale)
+        series[label] = speedups(results, base)
+    return {"apps": apps, "series": series}
+
+
+def fig02_superpage_migration(apps=None, scale=None):
+    """Fig 2: 2 MB super pages under migration, vs 4 KB pages."""
+    apps = _apps(apps)
+    base = suite_results(configs.with_migration(configs.baseline()),
+                         apps, scale)
+    superpage = suite_results(configs.with_migration(configs.superpage()),
+                              apps, scale)
+    return {"apps": apps,
+            "series": {"2MB superpage": speedups(superpage, base)},
+            "migrations": {a: superpage[a].migrations for a in apps}}
+
+
+def fig04_mshr(apps=None, scale=None):
+    """Fig 4: doubling L2 TLB MSHRs buys almost nothing (~6%)."""
+    apps = _apps(apps)
+    base = suite_results(configs.baseline(), apps, scale)
+    doubled = suite_results(configs.with_l2_mshrs(configs.baseline(), 32),
+                            apps, scale)
+    series = {"32 MSHRs": speedups(doubled, base)}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series["32 MSHRs"].values()))}
+
+
+def fig05_vpn_gap(apps=("fft", "st2d", "spmv"), scale=None):
+    """Fig 5: VPN-gap distribution at the IOMMU, private vs shared L2.
+
+    The paper plots the raw distributions; we report the fraction of
+    near-contiguous gaps (<= 8 pages) and the median gap — private L2 TLBs
+    scatter the stream (smaller contiguous fraction, larger gaps).
+    """
+    apps = list(apps)
+    out = {"apps": apps, "series": {}}
+    contiguous_private, contiguous_shared, medians = {}, {}, {}
+    for app in apps:
+        private = run_point(configs.baseline(), app, scale)
+        shared = run_point(configs.shared_l2(), app, scale)
+        small = range(0, 9)
+        contiguous_private[app] = private.vpn_gaps.fraction_in(small)
+        contiguous_shared[app] = shared.vpn_gaps.fraction_in(small)
+        medians[app] = private.vpn_gaps.quantile(0.5)
+    out["series"]["private contiguous<=8"] = contiguous_private
+    out["series"]["shared contiguous<=8"] = contiguous_shared
+    out["median_gap_private"] = medians
+    return out
+
+
+def fig06_shared_l2(apps=None, scale=None):
+    """Fig 6: ideal shared L2 TLB over private TLBs (~6% mean)."""
+    apps = _apps(apps)
+    base = suite_results(configs.baseline(), apps, scale)
+    shared = suite_results(configs.shared_l2(), apps, scale)
+    series = {"ideal shared L2": speedups(shared, base)}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series["ideal shared L2"].values()))}
+
+
+# --------------------------------------------------------------------------
+# Main results (Section VII)
+# --------------------------------------------------------------------------
+
+def fig15_overall(apps=None, scale=None):
+    """Fig 15: Valkyrie / Least / Barre / F-Barre (NoMerge, 2M, 4M)."""
+    apps = _apps(apps)
+    base = suite_results(configs.baseline(), apps, scale)
+    variants = {
+        "Valkyrie": configs.valkyrie(),
+        "Least": configs.least(),
+        "Barre": configs.barre(),
+        "F-Barre-NoMerge": configs.fbarre(merge=1),
+        "F-Barre-2Merge": configs.fbarre(merge=2),
+        "F-Barre-4Merge": configs.fbarre(merge=4),
+    }
+    series = {name: speedups(suite_results(cfg, apps, scale), base)
+              for name, cfg in variants.items()}
+    means = {name: geomean(list(values.values()))
+             for name, values in series.items()}
+    return {"apps": apps, "series": series, "means": means}
+
+
+def fig16_ats(apps=None, scale=None):
+    """Fig 16: ATS processing-time saving, coalesced fraction, traffic cut."""
+    apps = _apps(apps)
+    base = suite_results(configs.baseline(), apps, scale)
+    barre = suite_results(configs.barre(), apps, scale)
+    fbarre = suite_results(configs.fbarre(), apps, scale)
+
+    def time_saving(variant):
+        return {a: 1.0 - (variant[a].mean_ats_time / base[a].mean_ats_time
+                          if base[a].mean_ats_time else 1.0)
+                for a in apps}
+
+    def traffic_cut(variant):
+        return {a: 1.0 - (variant[a].pcie_packets / base[a].pcie_packets
+                          if base[a].pcie_packets else 1.0)
+                for a in apps}
+
+    return {
+        "apps": apps,
+        "series": {
+            "a: Barre time saving": time_saving(barre),
+            "a: F-Barre time saving": time_saving(fbarre),
+            "b: Barre coalesced": {a: barre[a].coalesced_fraction
+                                   for a in apps},
+            "b: F-Barre coalesced": {a: fbarre[a].coalesced_fraction
+                                     for a in apps},
+            "c: F-Barre traffic cut": traffic_cut(fbarre),
+        },
+    }
+
+
+def fig17_filters(apps=None, scale=None, sweep_apps=None):
+    """Fig 17: (a) RCF/LCF hit rates, (b) filter-size sensitivity."""
+    apps = _apps(apps)
+    fbarre = suite_results(configs.fbarre(), apps, scale)
+    remote = {a: fbarre[a].remote_hit_rate for a in apps
+              if fbarre[a].remote_attempts}
+    local = {a: fbarre[a].lcf_true_positive_rate for a in apps
+             if fbarre[a].lcf_hits}
+    sweep_apps = SUBSET6 if sweep_apps is None else list(sweep_apps)
+    base_rows = suite_results(configs.with_cuckoo_rows(configs.fbarre(), 256),
+                              sweep_apps, scale)
+    sweep = {}
+    for rows in (512, 1024):
+        results = suite_results(
+            configs.with_cuckoo_rows(configs.fbarre(), rows),
+            sweep_apps, scale)
+        sweep[f"{rows} rows"] = geomean(
+            list(speedups(results, base_rows).values()))
+    def arith_mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    return {"apps": apps,
+            "series": {"remote hit rate": remote, "local hit rate": local},
+            "mean_remote_hit": arith_mean(list(remote.values())),
+            "mean_local_hit": arith_mean(list(local.values())),
+            "row_sweep": sweep}
+
+
+def fig18_breakdown(apps=None, scale=None):
+    """Fig 18: Barre -> +PTW scheduling -> +peer sharing (F-Barre)."""
+    apps = _apps(apps)
+    barre = suite_results(configs.barre(scheduling=False), apps, scale)
+    sched = suite_results(configs.barre(scheduling=True), apps, scale)
+    full = suite_results(configs.fbarre(merge=1), apps, scale)
+    series = {
+        "+PTW scheduling": speedups(sched, barre),
+        "+peer sharing": speedups(full, barre),
+    }
+    return {"apps": apps, "series": series,
+            "means": {k: geomean(list(v.values())) for k, v in series.items()}}
+
+
+def fig19_sharing_traffic(apps=None, scale=None):
+    """Fig 19: F-Barre vs oracle fixed-latency coalescing-info sharing."""
+    apps = _apps(apps)
+    real = suite_results(configs.fbarre(), apps, scale)
+    oracle = suite_results(configs.fbarre(oracle_sharing=True), apps, scale)
+    fraction = {a: (oracle[a].cycles / real[a].cycles) for a in apps}
+    return {"apps": apps,
+            "series": {"fraction of oracle": fraction},
+            "mean_fraction": geomean(list(fraction.values()))}
+
+
+def fig20_chiplet_scaling(apps=None, scale=None):
+    """Fig 20: F-Barre speedup on 2/4/8/16-chiplet MCM-GPUs."""
+    apps = SUBSET6 if apps is None else list(apps)
+    series = {}
+    for chiplets in (2, 4, 8, 16):
+        base = suite_results(configs.baseline(num_chiplets=chiplets),
+                             apps, scale)
+        fb = suite_results(configs.fbarre(num_chiplets=chiplets),
+                           apps, scale)
+        series[f"{chiplets} chiplets"] = speedups(fb, base)
+    means = {k: geomean(list(v.values())) for k, v in series.items()}
+    return {"apps": apps, "series": series, "means": means}
+
+
+def fig21_gmmu(apps=None, scale=None):
+    """Fig 21: MGvm vs MGvm + Barre Chord (speedup + remote-walk cut)."""
+    apps = _apps(apps)
+    mgvm = suite_results(configs.mgvm(), apps, scale)
+    chord = suite_results(configs.mgvm(barre_chord=True), apps, scale)
+    remote_cut = {}
+    for a in apps:
+        before = mgvm[a].gmmu_remote_walks
+        after = chord[a].gmmu_remote_walks
+        remote_cut[a] = 1.0 - (after / before) if before else 0.0
+    series = {"+Barre Chord": speedups(chord, mgvm)}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series["+Barre Chord"].values())),
+            "remote_walk_cut": remote_cut}
+
+
+def fig22_migration(apps=None, scale=None):
+    """Fig 22: Barre Chord under ACUD-style migration."""
+    apps = _apps(apps)
+    acud = suite_results(configs.with_migration(configs.baseline()),
+                         apps, scale)
+    chord = suite_results(configs.with_migration(configs.fbarre()),
+                          apps, scale)
+    series = {"Barre Chord": speedups(chord, acud)}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series["Barre Chord"].values()))}
+
+
+def fig23_ptw_sensitivity(apps=None, scale=None):
+    """Fig 23: F-Barre speedup with 8/16/32 PTWs."""
+    apps = _apps(apps)
+    series = {}
+    for ptws in (8, 16, 32):
+        base = suite_results(configs.with_ptws(configs.baseline(), ptws),
+                             apps, scale)
+        fb = suite_results(configs.with_ptws(configs.fbarre(), ptws),
+                           apps, scale)
+        series[f"{ptws} PTWs"] = speedups(fb, base)
+    means = {k: geomean(list(v.values())) for k, v in series.items()}
+    return {"apps": apps, "series": series, "means": means}
+
+
+def fig24_page_size(apps=None, scale=None):
+    """Fig 24: F-Barre with 64 KB / 2 MB pages; right pane: 16x inputs."""
+    apps = SUBSET6 if apps is None else list(apps)
+    out = {"apps": apps, "series": {}}
+    for label, size in [("4KB", PAGE_SIZE_4K), ("64KB", PAGE_SIZE_64K),
+                        ("2MB", PAGE_SIZE_2M)]:
+        base = suite_results(configs.baseline(page_size=size), apps, scale)
+        fb = suite_results(configs.fbarre(page_size=size), apps, scale)
+        out["series"][f"original {label}"] = speedups(fb, base)
+    frames = 1 << 18
+    for label, size in [("64KB", PAGE_SIZE_64K)]:
+        big = {}
+        for app in apps:
+            workload = get_workload(app).scaled(16)
+            base = run_point(configs.baseline(page_size=size,
+                                              frames_per_chiplet=frames),
+                             workload, scale, workload_tag="x16")
+            fb = run_point(configs.fbarre(page_size=size,
+                                          frames_per_chiplet=frames),
+                           workload, scale, workload_tag="x16")
+            big[app] = fb.speedup_over(base)
+        out["series"][f"16x input {label}"] = big
+    return out
+
+
+def fig25_vs_superpage(apps=None, scale=None):
+    """Fig 25: Barre Chord (4 KB) vs 2 MB super pages, migration on."""
+    apps = _apps(apps)
+    superpage = suite_results(configs.with_migration(configs.superpage()),
+                              apps, scale)
+    chord = suite_results(configs.with_migration(configs.fbarre()),
+                          apps, scale)
+    series = {"Barre Chord vs superpage": speedups(chord, superpage)}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series[
+                "Barre Chord vs superpage"].values()))}
+
+
+def fig26_mappings(apps=None, scale=None):
+    """Fig 26: Barre Chord under round-robin / chunking / CODA mapping."""
+    from repro.common.config import MappingKind
+    apps = _apps(apps)
+    series = {}
+    for label, kind in [("round-robin", MappingKind.ROUND_ROBIN),
+                        ("chunking", MappingKind.CHUNKING),
+                        ("CODA", MappingKind.CODA)]:
+        base = suite_results(configs.baseline(mapping=kind), apps, scale)
+        fb = suite_results(configs.fbarre(mapping=kind), apps, scale)
+        series[label] = speedups(fb, base)
+    means = {k: geomean(list(v.values())) for k, v in series.items()}
+    return {"apps": apps, "series": series, "means": means}
+
+
+#: Category pairs for the Fig 27a multi-programming study.
+MULTIAPP_PAIRS = {
+    "Low-Low": ("gemv", "fft"),
+    "Low-Mid": ("pr", "jac2d"),
+    "Low-High": ("fft", "spmv"),
+    "Mid-Mid": ("cov", "st2d"),
+    "Mid-High": ("st2d", "gesm"),
+    "High-High": ("gups", "spmv"),
+}
+
+
+def fig27a_multiapp(pairs=None, scale=None):
+    """Fig 27a: F-Barre under two-app co-scheduling (fine-grained sharing)."""
+    pairs = MULTIAPP_PAIRS if pairs is None else pairs
+    series = {}
+    for label, (a, b) in pairs.items():
+        base = run_pair(configs.baseline(), a, b, scale)
+        fb = run_pair(configs.fbarre(), a, b, scale)
+        series[label] = fb.speedup_over(base)
+    return {"pairs": series,
+            "mean_speedup": geomean(list(series.values()))}
+
+
+def fig27b_iommu_tlb(apps=None, scale=None):
+    """Fig 27b: F-Barre on a system with a 2048-entry IOMMU TLB."""
+    apps = _apps(apps)
+    base = suite_results(configs.with_iommu_tlb(configs.baseline()),
+                         apps, scale)
+    fb = suite_results(configs.with_iommu_tlb(configs.fbarre()), apps, scale)
+    series = {"F-Barre + IOMMU TLB": speedups(fb, base)}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series[
+                "F-Barre + IOMMU TLB"].values()))}
+
+
+# --------------------------------------------------------------------------
+# Tables and overheads
+# --------------------------------------------------------------------------
+
+def table1_mpki(apps=None, scale=None):
+    """Table I: per-app baseline L2 TLB MPKI and its class."""
+    apps = _apps(apps)
+    base = suite_results(configs.baseline(), apps, scale)
+    rows = {}
+    for app in apps:
+        workload = get_workload(app)
+        rows[app] = {
+            "measured_mpki": base[app].mpki,
+            "paper_mpki": workload.paper_mpki,
+            "category": CATEGORY_OF[app],
+        }
+    return {"apps": apps, "rows": rows}
+
+
+def ext_ondemand_paging(apps=None, scale=None):
+    """Section VI extension: on-demand paging, group-granular fetching.
+
+    Compares demand-paged baseline vs demand-paged Barre Chord: under Barre
+    one fault maps the whole coalescing group, so sibling first-touches on
+    the other chiplets never fault.
+    """
+    apps = SUBSET6 if apps is None else list(apps)
+    base = suite_results(configs.baseline(demand_paging=True), apps, scale)
+    chord = suite_results(configs.fbarre(demand_paging=True), apps, scale)
+    series = {"Barre Chord (demand paging)": speedups(chord, base)}
+    fault_cut = {a: 1.0 - (chord[a].page_faults / base[a].page_faults
+                           if base[a].page_faults else 0.0)
+                 for a in apps}
+    return {"apps": apps, "series": series,
+            "mean_speedup": geomean(list(series[
+                "Barre Chord (demand paging)"].values())),
+            "fault_cut": fault_cut,
+            "pages_per_fault": {a: chord[a].pages_per_fault for a in apps}}
+
+
+def overhead_area():
+    """Section VII-K: filters + PEC buffer vs. a GPU L2 TLB."""
+    report = chiplet_area_report(configs.fbarre())
+    return {
+        "filters_plus_pec_kib": report.added_kib,
+        "overhead_vs_l2": report.overhead_vs_l2,
+        "pec_buffer_bits": report.pec_buffer_bits,
+        "paper_kib": 4.57,
+        "paper_overhead": 0.0421,
+    }

@@ -1,0 +1,136 @@
+"""Experiment runner: cached simulation of (config, app) points.
+
+Every figure reproduces to a set of (config, app) simulation points, many of
+which repeat across figures (the Table II baseline appears in almost every
+one).  ``run_point`` therefore memoizes :class:`SimResult`s on disk, keyed
+by the full configuration, the app, the trace scale, and a simulator-version
+stamp — so a full benchmark sweep pays for each distinct point once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — trace-scale multiplier (default 0.4); larger is
+  slower but less noisy.
+* ``REPRO_CACHE_DIR`` — cache location (default ``<repo>/.bench_cache``).
+* ``REPRO_NO_CACHE=1`` — disable the cache entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.common.config import SimConfig
+from repro.common.stats import Histogram
+from repro.gpu.mcm import McmGpuSimulator, SimResult
+from repro.workloads.base import Workload
+from repro.workloads.suite import get_workload
+
+#: Bump when simulator semantics change, to invalidate cached results.
+SIM_VERSION = "bc-2"
+
+_RESULT_FIELDS = [f.name for f in dataclasses.fields(SimResult)
+                  if f.name not in ("vpn_gaps", "extra")]
+
+
+def bench_scale() -> float:
+    """Trace scale used by the benchmark harness."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def _cache_dir() -> Path | None:
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    path = Path(os.environ.get("REPRO_CACHE_DIR",
+                               Path(__file__).resolve().parents[3]
+                               / ".bench_cache"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _config_key(config: SimConfig) -> str:
+    def encode(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {f.name: encode(getattr(value, f.name))
+                    for f in dataclasses.fields(value)}
+        if hasattr(value, "value"):
+            return value.value
+        return value
+
+    return json.dumps(encode(config), sort_keys=True)
+
+
+def _point_path(config: SimConfig, app: str, scale: float,
+                workload_tag: str) -> Path | None:
+    root = _cache_dir()
+    if root is None:
+        return None
+    key = "|".join([SIM_VERSION, _config_key(config), app,
+                    f"{scale:.4f}", workload_tag])
+    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    return root / f"{app.replace('+', '_')}-{digest}.json"
+
+
+def _serialize(result: SimResult) -> dict:
+    payload = {name: getattr(result, name) for name in _RESULT_FIELDS}
+    payload["vpn_gaps"] = {str(k): v for k, v in result.vpn_gaps.buckets.items()}
+    return payload
+
+
+def _deserialize(payload: dict) -> SimResult:
+    gaps = Histogram()
+    for key, value in payload.pop("vpn_gaps", {}).items():
+        gaps.buckets[int(key)] = value
+    return SimResult(vpn_gaps=gaps, **payload)
+
+
+def run_point(config: SimConfig, app: str | Workload,
+              scale: float | None = None,
+              workload_tag: str = "") -> SimResult:
+    """Simulate one (config, app) point, via the disk cache when possible.
+
+    ``app`` is a Table I abbreviation or a pre-built :class:`Workload`
+    (pass ``workload_tag`` to make cache keys of modified workloads unique,
+    e.g. ``"x16"`` for Fig 24's scaled inputs).
+    """
+    scale = bench_scale() if scale is None else scale
+    workload = get_workload(app) if isinstance(app, str) else app
+    path = _point_path(config, workload.abbr, scale, workload_tag)
+    if path is not None and path.exists():
+        return _deserialize(json.loads(path.read_text()))
+    result = McmGpuSimulator(config, [workload], trace_scale=scale).run()
+    if path is not None:
+        path.write_text(json.dumps(_serialize(result)))
+    return result
+
+
+def run_pair(config: SimConfig, app_a: str, app_b: str,
+             scale: float | None = None) -> SimResult:
+    """Multi-programming point: two apps co-scheduled (Section VII-I)."""
+    scale = bench_scale() if scale is None else scale
+    first = get_workload(app_a)
+    second = get_workload(app_b)
+    second.pasid = 1
+    tag = f"pair-{app_b}"
+    path = _point_path(config, app_a, scale, tag)
+    if path is not None and path.exists():
+        return _deserialize(json.loads(path.read_text()))
+    result = McmGpuSimulator(config, [first, second], trace_scale=scale).run()
+    if path is not None:
+        path.write_text(json.dumps(_serialize(result)))
+    return result
+
+
+def suite_results(config: SimConfig, apps: list[str],
+                  scale: float | None = None) -> dict[str, SimResult]:
+    """Run one configuration across a list of apps."""
+    return {app: run_point(config, app, scale) for app in apps}
+
+
+def speedups(variant: dict[str, SimResult],
+             baseline: dict[str, SimResult]) -> dict[str, float]:
+    """Per-app speedup of ``variant`` over ``baseline``."""
+    return {app: variant[app].speedup_over(baseline[app])
+            for app in variant if app in baseline}

@@ -1,0 +1,5 @@
+"""Probabilistic membership filters (cuckoo filter for F-Barre LCF/RCF)."""
+
+from repro.filters.cuckoo import CuckooFilter
+
+__all__ = ["CuckooFilter"]

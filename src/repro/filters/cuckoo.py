@@ -1,0 +1,137 @@
+"""Cuckoo filter (Fan et al., CoNEXT'14) as used by F-Barre's LCF/RCFs.
+
+A cuckoo filter stores short fingerprints in a 2-choice hash table and —
+unlike a Bloom filter — supports deletion, which F-Barre needs because
+filters must track TLB insertions *and* evictions (Section V-A1).
+
+The implementation is deterministic: hashing is a fixed 64-bit mixer, and
+eviction victims are chosen round-robin per bucket, so simulations replay
+identically for a given seed.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CuckooConfig
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer; a fast, well-distributed 64-bit mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class CuckooFilter:
+    """Approximate membership with insert/delete (may false-positive).
+
+    >>> f = CuckooFilter(CuckooConfig(rows=8, ways=2, fingerprint_bits=8))
+    >>> f.insert(0xA1)
+    True
+    >>> f.contains(0xA1)
+    True
+    >>> f.delete(0xA1)
+    True
+    >>> f.contains(0xA1)
+    False
+    """
+
+    def __init__(self, config: CuckooConfig | None = None) -> None:
+        self.config = config or CuckooConfig()
+        self._buckets: list[list[int]] = [[] for _ in range(self.config.rows)]
+        self._row_mask = self.config.rows - 1
+        self._fp_mask = (1 << self.config.fingerprint_bits) - 1
+        self._kick_cursor = 0
+        self._size = 0
+        # Above ~95% load a kick chain almost never succeeds; bail out
+        # immediately instead (a dropped best-effort update, Section V-A2).
+        self._kick_ceiling = int(self.config.capacity * 0.95)
+
+    # -- hashing -----------------------------------------------------------
+
+    def _fingerprint(self, item: int) -> int:
+        # Fingerprint 0 is reserved so empty slots never alias an item.
+        fp = _mix64(item * 2 + 1) & self._fp_mask
+        return fp or 1
+
+    def _index1(self, item: int) -> int:
+        return _mix64(item) & self._row_mask
+
+    def _index2(self, index1: int, fp: int) -> int:
+        # Partial-key cuckoo hashing: i2 = i1 ^ hash(fp).
+        return (index1 ^ _mix64(fp)) & self._row_mask
+
+    def _candidate_rows(self, item: int) -> tuple[int, int, int]:
+        fp = self._fingerprint(item)
+        i1 = self._index1(item)
+        return fp, i1, self._index2(i1, fp)
+
+    # -- operations --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self.config.capacity
+
+    def contains(self, item: int) -> bool:
+        """Membership test; false positives possible, negatives exact."""
+        fp, i1, i2 = self._candidate_rows(item)
+        return fp in self._buckets[i1] or fp in self._buckets[i2]
+
+    def insert(self, item: int) -> bool:
+        """Insert; returns False when the filter is too full (no raise).
+
+        F-Barre's filter updates are best-effort (Section V-A2), so a failed
+        insertion is a dropped update, not an error.
+        """
+        fp, i1, i2 = self._candidate_rows(item)
+        for row in (i1, i2):
+            if len(self._buckets[row]) < self.config.ways:
+                self._buckets[row].append(fp)
+                self._size += 1
+                return True
+        if self._size >= self._kick_ceiling:
+            return False  # saturated: kicking is hopeless, drop the update
+        # Kick a resident fingerprint to its alternate bucket.
+        row = i1 if (self._kick_cursor & 1) == 0 else i2
+        self._kick_cursor += 1
+        for _ in range(self.config.max_kicks):
+            bucket = self._buckets[row]
+            victim_slot = self._kick_cursor % len(bucket)
+            self._kick_cursor += 1
+            bucket[victim_slot], fp = fp, bucket[victim_slot]
+            row = self._index2(row, fp)
+            if len(self._buckets[row]) < self.config.ways:
+                self._buckets[row].append(fp)
+                self._size += 1
+                return True
+        # Undo is unnecessary: the displaced chain left a valid table; the
+        # final homeless fingerprint is simply dropped (standard practice).
+        return False
+
+    def delete(self, item: int) -> bool:
+        """Delete one matching fingerprint; returns whether one was found."""
+        fp, i1, i2 = self._candidate_rows(item)
+        for row in (i1, i2):
+            bucket = self._buckets[row]
+            if fp in bucket:
+                bucket.remove(fp)
+                self._size -= 1
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all fingerprints (used on TLB shootdown, Section VI)."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._size = 0
+
+    def size_bits(self) -> int:
+        """Storage cost in bits (for the Section VII-K area model)."""
+        return self.config.capacity * self.config.fingerprint_bits
+
+    def theoretical_false_positive_rate(self) -> float:
+        """Upper-bound FP rate: 2b / 2^f (Fan et al., Section VII-K: 1.53%)."""
+        return 2 * self.config.ways / (1 << self.config.fingerprint_bits)

@@ -1,0 +1,5 @@
+"""Per-chiplet GMMUs over a distributed page table (MGvm-style)."""
+
+from repro.gmmu.gmmu import Gmmu, GmmuHandler
+
+__all__ = ["Gmmu", "GmmuHandler"]

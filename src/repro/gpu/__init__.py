@@ -1,0 +1,16 @@
+"""GPU model: access streams, chiplets, memory fabric, the MCM simulator."""
+
+from repro.gpu.chiplet import Chiplet
+from repro.gpu.mcm import McmGpuSimulator, SimResult, run_app
+from repro.gpu.memory import MemoryFabric
+from repro.gpu.stream import AccessStream, TraceAccess
+
+__all__ = [
+    "AccessStream",
+    "Chiplet",
+    "McmGpuSimulator",
+    "MemoryFabric",
+    "SimResult",
+    "TraceAccess",
+    "run_app",
+]

@@ -1,0 +1,149 @@
+"""One GPU chiplet: per-stream L1 TLBs, a shared L2 TLB, the miss path.
+
+The translation pipeline (Section II-A):
+
+1. L1 TLB (private, 1 cycle).  Valkyrie additionally probes sibling L1s.
+2. L2 TLB (chiplet-shared, 10 cycles), with MSHR merging.
+3. On an L2 miss, the configured :class:`~repro.core.translation.MissHandler`
+   resolves the VPN (ATS / intra-MCM / peer sharing / GMMU).
+
+With the shared-L2 configuration (Fig 6) every chiplet is constructed with
+the *same* L2 TLB and MSHR file, modelling one physical TLB.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import SimConfig
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet
+from repro.core.fbarre import CoalescingAgent
+from repro.core.translation import MissHandler
+from repro.memsim.tlb import MshrFile, Tlb, TlbEntry
+
+#: Valkyrie's intra-chiplet L1 probe cost (cycles).
+_L1_PROBE_LATENCY = 2
+
+DoneCallback = Callable[[TlbEntry], None]
+
+
+class Chiplet:
+    """Translation front-end of one GPU chiplet."""
+
+    def __init__(self, queue: EventQueue, chiplet_id: int, config: SimConfig,
+                 l2: Tlb, l2_mshr: MshrFile, miss_handler: MissHandler, *,
+                 valkyrie_l1_probing: bool = False) -> None:
+        self.queue = queue
+        self.chiplet_id = chiplet_id
+        self.config = config
+        self.l2 = l2
+        self.l2_mshr = l2_mshr
+        self.miss_handler = miss_handler
+        self.valkyrie_l1_probing = valkyrie_l1_probing
+        self.stats = StatSet(f"chiplet.{chiplet_id}")
+        self.l1s = [Tlb(config.l1_tlb, name=f"l1.{chiplet_id}.{s}")
+                    for s in range(config.streams_per_chiplet)]
+        self._l1_mshrs = [MshrFile(config.l1_tlb.mshrs,
+                                   name=f"l1mshr.{chiplet_id}.{s}")
+                          for s in range(config.streams_per_chiplet)]
+        #: F-Barre agent (None for other backends).
+        self.agent: CoalescingAgent | None = None
+
+    # -- translation pipeline ---------------------------------------------------
+
+    def translate(self, stream_id: int, pasid: int, vpn: int,
+                  done: DoneCallback) -> None:
+        """Entry point from an access stream."""
+        l1 = self.l1s[stream_id]
+        entry = l1.lookup(pasid, vpn)
+        latency = self.config.l1_tlb.lookup_latency
+        if entry is not None:
+            self.queue.schedule(latency, lambda: done(entry))
+            return
+        key = (pasid, vpn)
+        mshr = self._l1_mshrs[stream_id]
+        status = mshr.allocate(key, lambda e: self._fill_l1(stream_id, e, done))
+        if status == "full":
+            mshr.wait_for_slot(
+                lambda: self.translate(stream_id, pasid, vpn, done))
+            return
+        if status == "merged":
+            return
+        self.queue.schedule(
+            latency, lambda: self._after_l1_miss(stream_id, pasid, vpn))
+
+    def _fill_l1(self, stream_id: int, entry: TlbEntry,
+                 done: DoneCallback) -> None:
+        self.l1s[stream_id].insert(entry)
+        done(entry)
+
+    def _after_l1_miss(self, stream_id: int, pasid: int, vpn: int) -> None:
+        if self.valkyrie_l1_probing:
+            for sibling, l1 in enumerate(self.l1s):
+                if sibling == stream_id:
+                    continue
+                entry = l1.probe(pasid, vpn)
+                if entry is not None:
+                    self.stats.bump("valkyrie_l1_hits")
+                    self.queue.schedule(
+                        _L1_PROBE_LATENCY,
+                        lambda e=entry: self._l1_mshrs[stream_id].release(
+                            (pasid, vpn), e))
+                    return
+        self.queue.schedule(self.config.l2_tlb.lookup_latency,
+                            lambda: self._l2_stage(stream_id, pasid, vpn))
+
+    def _l2_stage(self, stream_id: int, pasid: int, vpn: int) -> None:
+        entry = self.l2.lookup(pasid, vpn)
+        if entry is not None:
+            self._l1_mshrs[stream_id].release((pasid, vpn), entry)
+            return
+        self._l2_miss(stream_id, pasid, vpn)
+
+    def _l2_retry(self, stream_id: int, pasid: int, vpn: int) -> None:
+        """An L2 MSHR freed up; recheck the (possibly just filled) L2."""
+        entry = self.l2.probe(pasid, vpn)  # probe: the miss was counted once
+        if entry is not None:
+            self._l1_mshrs[stream_id].release((pasid, vpn), entry)
+            return
+        self._l2_miss(stream_id, pasid, vpn)
+
+    def _l2_miss(self, stream_id: int, pasid: int, vpn: int) -> None:
+        key = (pasid, vpn)
+        status = self.l2_mshr.allocate(
+            key, lambda e: self._l1_mshrs[stream_id].release(key, e))
+        if status == "full":
+            self.l2_mshr.wait_for_slot(
+                lambda: self._l2_retry(stream_id, pasid, vpn))
+            return
+        if status == "merged":
+            return
+        self.miss_handler.resolve(pasid, vpn,
+                                  lambda e: self._fill_l2(key, e))
+
+    def _fill_l2(self, key: tuple[int, int], entry: TlbEntry) -> None:
+        self.l2.insert(entry)
+        self.l2_mshr.release(key, entry)
+
+    def fill_l2_prefetch(self, entry: TlbEntry) -> None:
+        """Valkyrie's L2 translation prefetch fill (no waiters)."""
+        if self.l2.probe(entry.pasid, entry.vpn) is None \
+                and not self.l2_mshr.is_pending(entry.key):
+            self.l2.insert(entry)
+            self.stats.bump("prefetch_fills")
+
+    # -- maintenance -------------------------------------------------------------
+
+    def invalidate(self, pasid: int, vpn: int) -> None:
+        """Drop one translation everywhere (migration / shootdown path)."""
+        for l1 in self.l1s:
+            l1.invalidate(pasid, vpn)
+        self.l2.invalidate(pasid, vpn)
+
+    def shootdown(self) -> None:
+        for l1 in self.l1s:
+            l1.shootdown()
+        self.l2.shootdown()
+        if self.agent is not None:
+            self.agent.shootdown()

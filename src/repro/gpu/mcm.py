@@ -1,0 +1,417 @@
+"""The MCM-GPU simulator: wires every subsystem and runs one app.
+
+``McmGpuSimulator`` assembles the Fig 3 system for a given
+:class:`~repro.common.config.SimConfig` and workload(s): the driver maps all
+data (with or without Barre's enforcement), chiplets get TLB hierarchies and
+the backend-specific miss handler, the IOMMU (or per-chiplet GMMUs) serves
+walks, and access streams drive the whole thing until the trace drains.
+
+``run()`` returns a :class:`SimResult`; speedups in the experiment harness
+are ratios of ``SimResult.cycles``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.addresses import PAGE_SIZE_4K
+from repro.common.config import BackendKind, IommuConfig, SimConfig, TlbConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.events import EventQueue
+from repro.common.stats import Histogram
+from repro.core.fbarre import CoalescingAgent
+from repro.core.translation import AtsHandler, FBarreHandler, LeastHandler
+from repro.gmmu.gmmu import Gmmu, GmmuHandler
+from repro.gpu.chiplet import Chiplet
+from repro.gpu.memory import MemoryFabric
+from repro.gpu.stream import AccessStream, TraceAccess
+from repro.iommu.iommu import Iommu
+from repro.iommu.pec import PecLogic
+from repro.mapping.allocator import FrameAllocatorGroup
+from repro.mapping.coalescing import PecBuffer
+from repro.mapping.driver import GpuDriver
+from repro.mapping.policies import make_policy
+from repro.memsim.links import DuplexLink, Mesh
+from repro.memsim.page_table import AddressSpaceRegistry
+from repro.memsim.tlb import MshrFile, Tlb
+from repro.migration.acud import MigrationEngine
+from repro.paging.demand import DemandPager
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SimResult:
+    """Everything an experiment reads out of one simulation run."""
+
+    app: str
+    backend: str
+    cycles: int
+    instructions: float
+    l2_misses: int
+    l2_lookups: int
+    ats_requests: int
+    pcie_packets: int
+    mesh_packets: int
+    walks: int
+    pec_coalesced: int
+    mean_ats_time: float
+    remote_data_fraction: float
+    vpn_gaps: Histogram
+    migrations: int = 0
+    page_faults: int = 0
+    pages_per_fault: float = 0.0
+    local_coalesced_hits: int = 0
+    remote_attempts: int = 0
+    remote_hits: int = 0
+    lcf_hits: int = 0
+    lcf_false_positives: int = 0
+    gmmu_local_walks: int = 0
+    gmmu_remote_walks: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mpki(self) -> float:
+        """L2 TLB misses per kilo warp instruction (Table I's metric)."""
+        if not self.instructions:
+            return 0.0
+        return self.l2_misses / (self.instructions / 1000.0)
+
+    @property
+    def coalesced_fraction(self) -> float:
+        answered = self.pec_coalesced + self.walks
+        return self.pec_coalesced / answered if answered else 0.0
+
+    @property
+    def remote_hit_rate(self) -> float:
+        """Peer translation success rate (Fig 17a's RCF metric)."""
+        return self.remote_hits / self.remote_attempts if self.remote_attempts else 0.0
+
+    @property
+    def lcf_true_positive_rate(self) -> float:
+        if not self.lcf_hits:
+            return 0.0
+        return 1.0 - self.lcf_false_positives / self.lcf_hits
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        if self.cycles <= 0:
+            raise SimulationError(f"run {self.app}/{self.backend} has no cycles")
+        return baseline.cycles / self.cycles
+
+
+class McmGpuSimulator:
+    """Builds and runs one MCM-GPU configuration for one or more apps."""
+
+    def __init__(self, config: SimConfig, workloads: Sequence[Workload],
+                 trace_scale: float = 1.0,
+                 verify_translations: bool = False) -> None:
+        if not workloads:
+            raise ConfigError("need at least one workload")
+        pasids = [w.pasid for w in workloads]
+        if len(set(pasids)) != len(pasids):
+            raise ConfigError("workloads must use distinct PASIDs")
+        self.config = config
+        self.workloads = list(workloads)
+        self.trace_scale = trace_scale
+        #: Check every delivered PFN against the page table (tests only;
+        #: invalid under migration, where in-flight translations may race a
+        #: concurrent remap).
+        self.verify_translations = verify_translations
+        if verify_translations and config.migration.enabled:
+            raise ConfigError("verify_translations is racy under migration")
+        self.queue = EventQueue()
+        self.rng = np.random.default_rng(config.seed)
+        self.page_scale = config.page_size // PAGE_SIZE_4K
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        self.memory_map = cfg.memory_map
+        self.allocators = FrameAllocatorGroup(cfg.num_chiplets,
+                                              cfg.frames_per_chiplet)
+        self.spaces = AddressSpaceRegistry()
+        self.policy = make_policy(cfg.mapping, cfg.num_chiplets)
+        barre = cfg.backend in (BackendKind.BARRE, BackendKind.FBARRE)
+        merge = cfg.merged_coal_groups if cfg.backend is BackendKind.FBARRE else 1
+        self.driver = GpuDriver(self.memory_map, self.allocators, self.spaces,
+                                self.policy, barre_enabled=barre,
+                                merge_max=merge,
+                                pec_buffer_entries=cfg.pec_buffer_entries)
+        self.pager: DemandPager | None = None
+        if cfg.demand_paging:
+            self.pager = DemandPager(self.driver,
+                                     fault_latency=cfg.fault_latency)
+        for workload in self.workloads:
+            for request in workload.requests(self.page_scale):
+                if self.pager is not None:
+                    self.pager.malloc(request)
+                else:
+                    self.driver.malloc(request)
+
+        self.mesh = Mesh(self.queue, cfg.mesh, cfg.num_chiplets)
+        self.sharing_mesh = (Mesh(self.queue, cfg.mesh, cfg.num_chiplets,
+                                  oracle=True)
+                             if cfg.oracle_sharing else self.mesh)
+        self.fabric = MemoryFabric(self.queue, self.memory_map, self.mesh,
+                                   cfg.dram_latency,
+                                   dram_serialization=cfg.dram_serialization)
+        self.pcie = DuplexLink(self.queue, cfg.pcie, name="pcie")
+
+        self._ats_handlers: dict[int, AtsHandler] = {}
+        self.iommu: Iommu | None = None
+        self.gmmus: list[Gmmu] = []
+        if not cfg.gmmu:
+            self.iommu = Iommu(
+                self.queue, cfg.iommu, self.spaces, self.driver.pec_buffer,
+                self.memory_map.chiplet_bases, self._route_response,
+                barre_enabled=barre,
+                compact_bitmap=self.driver.compact_bitmap)
+            if self.pager is not None:
+                self.iommu.fault_handler = self.pager.handle_fault
+
+        shared_l2 = None
+        shared_l2_mshr = None
+        if cfg.backend is BackendKind.SHARED_L2:
+            shared_cfg = TlbConfig(
+                entries=cfg.l2_tlb.entries * cfg.num_chiplets,
+                ways=cfg.l2_tlb.ways,
+                lookup_latency=cfg.l2_tlb.lookup_latency,
+                mshrs=cfg.l2_tlb.mshrs * cfg.num_chiplets)
+            shared_l2 = Tlb(shared_cfg, name="l2.shared")
+            shared_l2_mshr = MshrFile(shared_cfg.mshrs, name="l2mshr.shared")
+
+        self.chiplets: list[Chiplet] = []
+        self.agents: dict[int, CoalescingAgent] = {}
+        fbarre_handlers: dict[int, FBarreHandler] = {}
+        least_handlers: dict[int, LeastHandler] = {}
+        for cid in range(cfg.num_chiplets):
+            l2 = shared_l2 if shared_l2 is not None else Tlb(
+                cfg.l2_tlb, name=f"l2.{cid}")
+            l2_mshr = shared_l2_mshr if shared_l2_mshr is not None else \
+                MshrFile(cfg.l2_tlb.mshrs, name=f"l2mshr.{cid}")
+            base = self._base_handler(cid)
+            handler = base
+            if cfg.backend is BackendKind.FBARRE:
+                pec = PecLogic(PecBuffer(cfg.pec_buffer_entries),
+                               self.memory_map.chiplet_bases,
+                               compact_bitmap=self.driver.compact_bitmap,
+                               name=f"pec.{cid}")
+                agent = CoalescingAgent(
+                    cid, cfg.num_chiplets, cfg.cuckoo, pec, l2,
+                    max_merge=merge,
+                    send_update=self._make_update_sender(cid))
+                self.agents[cid] = agent
+                handler = FBarreHandler(
+                    self.queue, cid, agent, self.sharing_mesh, base,
+                    cfg.l2_tlb.lookup_latency)
+                fbarre_handlers[cid] = handler
+            elif cfg.backend is BackendKind.LEAST:
+                handler = LeastHandler(self.queue, cid, self.mesh, base,
+                                       cfg.l2_tlb.lookup_latency)
+                least_handlers[cid] = handler
+            chiplet = Chiplet(
+                self.queue, cid, cfg, l2, l2_mshr, handler,
+                valkyrie_l1_probing=cfg.backend is BackendKind.VALKYRIE)
+            chiplet.agent = self.agents.get(cid)
+            if isinstance(base, AtsHandler):
+                base.on_prefetch_fill = chiplet.fill_l2_prefetch
+            self.chiplets.append(chiplet)
+        for cid, handler in fbarre_handlers.items():
+            handler.peers = fbarre_handlers
+        for cid, handler in least_handlers.items():
+            handler.peer_l2s = {c.chiplet_id: c.l2 for c in self.chiplets
+                                if c.chiplet_id != cid}
+
+        self.migration: MigrationEngine | None = None
+        if cfg.migration.enabled:
+            self.migration = MigrationEngine(
+                self.queue, cfg.migration, self.driver, self.chiplets,
+                self.mesh, page_scale=self.page_scale)
+
+        self._build_streams()
+
+    def _base_handler(self, cid: int):
+        cfg = self.config
+        if cfg.gmmu:
+            gmmu_cfg = IommuConfig(
+                num_ptws=cfg.gmmu_ptws_per_chiplet,
+                walk_latency=cfg.iommu.walk_latency,
+                pw_queue_entries=cfg.iommu.pw_queue_entries,
+                coalescing_aware_scheduling=cfg.iommu.coalescing_aware_scheduling)
+            gmmu = Gmmu(
+                self.queue, cid, gmmu_cfg, self.spaces,
+                self.driver.pec_buffer, self.memory_map.chiplet_bases,
+                respond=lambda resp: None,  # replaced by GmmuHandler
+                pt_owner=self._pt_owner, mesh=self.mesh,
+                barre_enabled=cfg.backend in (BackendKind.BARRE,
+                                              BackendKind.FBARRE),
+                compact_bitmap=self.driver.compact_bitmap)
+            if self.pager is not None:
+                gmmu.fault_handler = self.pager.handle_fault
+            self.gmmus.append(gmmu)
+            return GmmuHandler(gmmu, cid)
+        assert self.iommu is not None
+        handler = AtsHandler(
+            self.queue, cid, self.pcie.up, self.iommu.receive,
+            prefetch_next=cfg.backend is BackendKind.VALKYRIE,
+            is_mapped=self._is_mapped)
+        self._ats_handlers[cid] = handler
+        return handler
+
+    def _pt_owner(self, pasid: int, vpn: int) -> int:
+        """Distributed page table: PTEs live with the page's owner chiplet."""
+        return self.driver.chiplet_of(pasid, vpn)
+
+    def _is_mapped(self, pasid: int, vpn: int) -> bool:
+        return pasid in self.spaces and self.spaces.get(pasid).is_mapped(vpn)
+
+    def _make_update_sender(self, src: int):
+        def send(peer: int, update) -> None:
+            self.sharing_mesh.send(
+                src, peer, update,
+                lambda u: self.agents[peer].apply_update(u),
+                packets=len(update))
+        return send
+
+    def _route_response(self, response) -> None:
+        self.pcie.down.send(
+            response,
+            lambda resp: self._ats_handlers[resp.dst_chiplet]
+            .deliver_response(resp))
+
+    # -- trace assembly ------------------------------------------------------
+
+    def _build_streams(self) -> None:
+        cfg = self.config
+        per_chiplet_ctas: list[list[list[TraceAccess]]] = [
+            [] for _ in range(cfg.num_chiplets)]
+        for workload in self.workloads:
+            records = [self.driver.data[(workload.pasid, i)]
+                       for i in range(len(workload.data))]
+            main = records[workload.main_data]
+            ctas = workload.build_ctas(self.rng, self.trace_scale)
+            for cta in ctas:
+                chiplet = self.policy.cta_chiplet(
+                    cta.cta_id, workload.num_ctas, main.plan, main.num_pages)
+                accesses = self._cta_accesses(workload, records, cta)
+                per_chiplet_ctas[chiplet].append(accesses)
+        self.streams: list[AccessStream] = []
+        self._remaining = 0
+        for cid, chiplet in enumerate(self.chiplets):
+            buckets: list[list[TraceAccess]] = [
+                [] for _ in range(cfg.streams_per_chiplet)]
+            for index, accesses in enumerate(per_chiplet_ctas[cid]):
+                buckets[index % cfg.streams_per_chiplet].extend(accesses)
+            for sid, accesses in enumerate(buckets):
+                stream = AccessStream(
+                    self.queue, sid, accesses, cfg.stream_window,
+                    translate=chiplet.translate,
+                    access_data=self._make_data_access(cid),
+                    on_drained=self._stream_drained)
+                self.streams.append(stream)
+                self._remaining += 1
+
+    def _cta_accesses(self, workload: Workload, records, cta) -> list[TraceAccess]:
+        accesses = []
+        for data_idx, offset in zip(cta.data_index, cta.page_offset):
+            record = records[data_idx]
+            scaled = int(offset) // self.page_scale
+            vpn = record.start_vpn + min(scaled, record.num_pages - 1)
+            accesses.append(TraceAccess(pasid=workload.pasid, vpn=vpn,
+                                        weight=workload.weight,
+                                        gap=workload.gap))
+        return accesses
+
+    def _make_data_access(self, cid: int):
+        def access(stream_id: int, pasid: int, vpn: int, pfn: int,
+                   done) -> None:
+            if self.verify_translations:
+                expected = self.spaces.get(pasid).walk(vpn).global_pfn
+                if pfn != expected:
+                    raise SimulationError(
+                        f"wrong translation: VPN {vpn:#x} -> {pfn:#x}, "
+                        f"page table says {expected:#x}")
+            if self.migration is not None:
+                self.migration.note_access(cid, self.fabric.owner_of(pfn),
+                                           pasid, vpn)
+            self.fabric.access(cid, pfn, done)
+        return access
+
+    def _stream_drained(self, stream: AccessStream) -> None:
+        self._remaining -= 1
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> SimResult:
+        for stream in self.streams:
+            stream.start()
+        self.queue.run(max_events=max_events)
+        if self._remaining:
+            raise SimulationError(
+                f"{self._remaining} streams never drained (translation "
+                f"deadlock?) at cycle {self.queue.now}")
+        return self._collect()
+
+    def _collect(self) -> SimResult:
+        cfg = self.config
+        l2s = {id(c.l2): c.l2 for c in self.chiplets}
+        l2_misses = sum(l2.stats.count("misses") for l2 in l2s.values())
+        l2_lookups = sum(l2.stats.count("hits") + l2.stats.count("misses")
+                         for l2 in l2s.values())
+        instructions = sum(s.instructions for s in self.streams)
+        walk_sources = ([self.iommu] if self.iommu is not None else
+                        list(self.gmmus))
+        walks = sum(src.stats.count("walks") for src in walk_sources)
+        pec = sum(src.stats.count("pec_coalesced") for src in walk_sources)
+        ats = sum(src.stats.count("ats_requests") for src in walk_sources)
+        times = [src.stats.mean("processing_time") for src in walk_sources
+                 if src.stats.samples("processing_time")]
+        vpn_gaps = Histogram()
+        for src in walk_sources:
+            for gap, count in src.vpn_gaps.buckets.items():
+                vpn_gaps.buckets[gap] += count
+        result = SimResult(
+            app="+".join(w.abbr for w in self.workloads),
+            backend=cfg.backend.value,
+            cycles=self.queue.now,
+            instructions=instructions,
+            l2_misses=l2_misses,
+            l2_lookups=l2_lookups,
+            ats_requests=ats,
+            pcie_packets=self.pcie.packets_sent,
+            mesh_packets=self.mesh.packets_sent,
+            walks=walks,
+            pec_coalesced=pec,
+            mean_ats_time=float(np.mean(times)) if times else 0.0,
+            remote_data_fraction=self.fabric.remote_fraction(),
+            vpn_gaps=vpn_gaps,
+            migrations=self.migration.migrations if self.migration else 0,
+            page_faults=self.pager.faults if self.pager else 0,
+            pages_per_fault=self.pager.pages_per_fault() if self.pager else 0.0,
+        )
+        for agent in self.agents.values():
+            result.lcf_hits += agent.stats.count("lcf_hits")
+            result.lcf_false_positives += agent.stats.count("lcf_false_positives")
+        for chiplet in self.chiplets:
+            handler = chiplet.miss_handler
+            if isinstance(handler, FBarreHandler):
+                result.local_coalesced_hits += handler.stats.count("local_hits")
+                result.remote_attempts += handler.stats.count("remote_attempts")
+                result.remote_hits += handler.stats.count("remote_hits")
+            elif isinstance(handler, LeastHandler):
+                result.remote_attempts += handler.stats.count("remote_attempts")
+                result.remote_hits += handler.stats.count("remote_hits")
+        for gmmu in self.gmmus:
+            result.gmmu_local_walks += gmmu.stats.count("local_walks")
+            result.gmmu_remote_walks += gmmu.stats.count("remote_walks")
+        return result
+
+
+def run_app(config: SimConfig, workload: Workload,
+            trace_scale: float = 1.0) -> SimResult:
+    """Convenience wrapper: build, run, and collect one app."""
+    return McmGpuSimulator(config, [workload], trace_scale=trace_scale).run()

@@ -1,0 +1,71 @@
+"""Data-side memory fabric: local vs. remote DRAM accesses.
+
+After translation, the access touches the frame's owning chiplet.  Remote
+accesses pay a mesh round trip and consume mesh bandwidth — this is the
+NUMA effect that makes coarse (super-page) mappings lose on hot-page apps
+(Fig 2, Fig 25) and that locality-aware policies minimize (Fig 26).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import MemoryMap
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet
+from repro.memsim.links import Mesh
+
+
+class MemoryFabric:
+    """Routes post-translation data accesses to their owning chiplet.
+
+    Each chiplet's DRAM has finite bandwidth: accesses serialize at
+    ``dram_serialization`` cycles apiece per owner.  When a coarse mapping
+    concentrates hot data on one chiplet (super pages, round-robin misfits),
+    that chiplet's queue grows — the hot-chiplet effect behind Fig 2/25/26.
+    """
+
+    def __init__(self, queue: EventQueue, memory_map: MemoryMap, mesh: Mesh,
+                 dram_latency: int, dram_serialization: int = 2) -> None:
+        self.queue = queue
+        self.memory_map = memory_map
+        self.mesh = mesh
+        self.dram_latency = dram_latency
+        self.dram_serialization = dram_serialization
+        self.stats = StatSet("memory")
+        self._dram_free = [0] * memory_map.num_chiplets
+        #: Observer for the migration engine: (accessor, owner, global_pfn).
+        self.on_access: Callable[[int, int, int], None] | None = None
+
+    def owner_of(self, global_pfn: int) -> int:
+        return global_pfn // self.memory_map.frames_per_chiplet
+
+    def _serve(self, owner: int, done: Callable[[], None]) -> None:
+        """One DRAM access at ``owner``: queue for bandwidth, pay latency."""
+        start = max(self.queue.now, self._dram_free[owner])
+        self._dram_free[owner] = start + self.dram_serialization
+        self.stats.observe("dram_queueing", start - self.queue.now)
+        self.queue.schedule_at(start + self.dram_latency, done)
+
+    def access(self, chiplet_id: int, global_pfn: int,
+               done: Callable[[], None]) -> None:
+        owner = self.owner_of(global_pfn)
+        if self.on_access is not None:
+            self.on_access(chiplet_id, owner, global_pfn)
+        if owner == chiplet_id:
+            self.stats.bump("local_accesses")
+            self._serve(owner, done)
+            return
+        self.stats.bump("remote_accesses")
+
+        def at_owner(_payload: object) -> None:
+            self._serve(owner,
+                        lambda: self.mesh.send(owner, chiplet_id, None,
+                                               lambda _p: done()))
+
+        self.mesh.send(chiplet_id, owner, None, at_owner)
+
+    def remote_fraction(self) -> float:
+        total = (self.stats.count("local_accesses")
+                 + self.stats.count("remote_accesses"))
+        return self.stats.count("remote_accesses") / total if total else 0.0

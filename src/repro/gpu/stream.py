@@ -1,0 +1,100 @@
+"""Access streams: the compute-side request generators.
+
+A stream stands in for a group of CUs executing CTAs in order.  It issues
+translation-triggering memory accesses separated by a compute gap, with a
+bounded number outstanding (warp-level memory parallelism).  The simulated
+runtime of an app is the cycle when every stream has drained — translation
+stalls therefore turn directly into lost cycles, exactly the coupling the
+paper's speedups measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet
+
+
+@dataclass(frozen=True)
+class TraceAccess:
+    """One translation-triggering access."""
+
+    pasid: int
+    vpn: int
+    #: Warp instructions this access represents (for MPKI accounting).
+    weight: float
+    #: Compute cycles between this access's issue and the next one's.
+    gap: int
+
+
+class AccessStream:
+    """Issues a fixed trace through a chiplet's translation + data path."""
+
+    def __init__(self, queue: EventQueue, stream_id: int,
+                 accesses: Sequence[TraceAccess], window: int,
+                 translate: Callable[[int, int, int, Callable], None],
+                 access_data: Callable[[int, int, int, int, Callable], None],
+                 on_drained: Callable[["AccessStream"], None]) -> None:
+        self.queue = queue
+        self.stream_id = stream_id
+        self.accesses = accesses
+        self.window = window
+        self.translate = translate
+        self.access_data = access_data
+        self.on_drained = on_drained
+        self.stats = StatSet(f"stream.{stream_id}")
+        self._next_index = 0
+        self._outstanding = 0
+        self._completed = 0
+        self._issue_ready = True
+        self.finish_time: int | None = None
+        self.instructions = sum(a.weight for a in accesses)
+
+    def start(self) -> None:
+        if not self.accesses:
+            self.finish_time = self.queue.now
+            self.on_drained(self)
+            return
+        self.queue.schedule(0, self._try_issue)
+
+    def _try_issue(self) -> None:
+        """Issue the next access if the window has room."""
+        if not self._issue_ready or self._next_index >= len(self.accesses):
+            return
+        if self._outstanding >= self.window:
+            self.stats.bump("window_stalls")
+            return  # a completion will re-trigger issue
+        access = self.accesses[self._next_index]
+        self._next_index += 1
+        self._outstanding += 1
+        self._issue_ready = False
+        issued_at = self.queue.now
+        self.stats.bump("issued")
+
+        def translated(entry) -> None:
+            self.stats.observe("translation_latency", self.queue.now - issued_at)
+            self.access_data(self.stream_id, access.pasid, access.vpn,
+                             entry.global_pfn, lambda: self._complete())
+
+        self.translate(self.stream_id, access.pasid, access.vpn, translated)
+        # The compute gap separates issues regardless of completion order.
+        self.queue.schedule(access.gap, self._issue_gap_over)
+
+    def _issue_gap_over(self) -> None:
+        self._issue_ready = True
+        self._try_issue()
+
+    def _complete(self) -> None:
+        self._outstanding -= 1
+        self._completed += 1
+        if self._completed == len(self.accesses):
+            self.finish_time = self.queue.now
+            self.on_drained(self)
+            return
+        self._try_issue()
+
+    @property
+    def drained(self) -> bool:
+        return self._completed == len(self.accesses)

@@ -1,0 +1,228 @@
+"""The host IOMMU: PW-queue, page-table walkers, PEC coalescing.
+
+Timing model (Table II): ATS requests arrive from PCIe, wait in the PW-queue
+for one of ``num_ptws`` walkers, and each walk takes ``walk_latency`` cycles.
+With Barre enabled, a completed walk's PEC logic scans the PW-queue for
+pending requests in the same coalescing group and answers them by
+calculation, skipping their walks entirely (Section IV-F).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.config import IommuConfig
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.common.stats import Histogram, StatSet
+from repro.iommu.ats import AtsRequest, AtsResponse
+from repro.iommu.pec import PecLogic
+from repro.iommu.scheduler import select_next
+from repro.mapping.coalescing import PecBuffer
+from repro.memsim.page_table import AddressSpaceRegistry
+from repro.memsim.tlb import Tlb, TlbEntry
+from repro.common.config import TlbConfig
+
+
+
+@dataclass
+class _WalkState:
+    """A page-table walk in flight, with all merged requesters."""
+
+    pasid: int
+    vpn: int
+    requests: list[AtsRequest] = field(default_factory=list)
+
+
+class Iommu:
+    """Queued multi-walker IOMMU with optional Barre PEC coalescing."""
+
+    def __init__(self, queue: EventQueue, config: IommuConfig,
+                 spaces: AddressSpaceRegistry, pec_buffer: PecBuffer,
+                 chiplet_bases: tuple[int, ...],
+                 respond: Callable[[AtsResponse], None], *,
+                 barre_enabled: bool = False,
+                 compact_bitmap: bool = False) -> None:
+        self.queue = queue
+        self.config = config
+        self.spaces = spaces
+        self.respond = respond
+        self.barre_enabled = barre_enabled
+        self.stats = StatSet("iommu")
+        #: Distribution of |VPN gap| between consecutive arrivals (Fig 5).
+        self.vpn_gaps = Histogram()
+        self._last_vpn: int | None = None
+        self.pec = PecLogic(pec_buffer, chiplet_bases,
+                            compact_bitmap=compact_bitmap, name="iommu.pec")
+        self._pending: deque[AtsRequest] = deque()
+        self._walking: dict[tuple[int, int], _WalkState] = {}
+        self._free_ptws = config.num_ptws
+        self._arrival: dict[int, int] = {}
+        #: Demand-paging hook: maps the faulting page(s) and returns the
+        #: fault-service latency in cycles (None disables demand faults —
+        #: an unmapped VPN is then a hard error).
+        self.fault_handler: Callable[[int, int], int] | None = None
+        self._tlb: Tlb | None = None
+        if config.tlb_entries:
+            self._tlb = Tlb(TlbConfig(entries=config.tlb_entries,
+                                      ways=min(16, config.tlb_entries),
+                                      lookup_latency=config.tlb_latency,
+                                      mshrs=64), name="iommu.tlb")
+
+    # -- ingress -------------------------------------------------------------
+
+    def receive(self, request: AtsRequest) -> None:
+        """An ATS request arrived over PCIe."""
+        self.stats.bump("ats_requests")
+        if self._last_vpn is not None:
+            self.vpn_gaps.add(abs(request.vpn - self._last_vpn))
+        self._last_vpn = request.vpn
+        self._arrival[id(request)] = self.queue.now
+        if self._tlb is not None:
+            hit = self._tlb.lookup(request.pasid, request.vpn)
+            if hit is not None:
+                self.stats.bump("iommu_tlb_hits")
+                self.queue.schedule(self.config.tlb_latency,
+                                    lambda: self._finish(request, hit.global_pfn,
+                                                         hit.coal, "iommu_tlb"))
+                return
+            # Miss costs the TLB lookup before the walk can be queued.
+            self.queue.schedule(self.config.tlb_latency,
+                                lambda: self._enqueue(request))
+            return
+        self._enqueue(request)
+
+    def _enqueue(self, request: AtsRequest) -> None:
+        walk = self._walking.get(request.key)
+        if walk is not None:
+            walk.requests.append(request)  # merge with in-flight walk
+            self.stats.bump("walk_merges")
+            return
+        if request.prefetch and len(self._pending) >= \
+                self.config.pw_queue_entries // 2:
+            # Prefetch walks are lowest priority: dropped under pressure
+            # (a prefetch has no waiter, so no response is owed).
+            self.stats.bump("prefetches_dropped")
+            self._arrival.pop(id(request), None)
+            return
+        # Same-key requests already queued are merged at dispatch time.
+        self._pending.append(request)
+        self.stats.observe("pw_queue_depth", len(self._pending))
+        if len(self._pending) > self.config.pw_queue_entries:
+            self.stats.bump("pw_queue_overflows")
+        self._dispatch()
+
+    # -- walker scheduling ----------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._free_ptws > 0 and self._pending:
+            if self.config.coalescing_aware_scheduling and self.barre_enabled:
+                request = select_next(self._pending, self._walking.keys(),
+                                      self.pec.pec_buffer)
+            else:
+                request = self._pending.popleft()
+            walk = self._walking.get(request.key)
+            if walk is not None:
+                walk.requests.append(request)
+                self.stats.bump("walk_merges")
+                continue
+            self._walking[request.key] = _WalkState(
+                pasid=request.pasid, vpn=request.vpn, requests=[request])
+            self._free_ptws -= 1
+            self.stats.bump("walks")
+            self.queue.schedule(self._walk_latency(request),
+                                lambda key=request.key: self._walk_done(key))
+
+    def _walk_latency(self, request: AtsRequest) -> int:
+        """Walk duration; subclasses (GMMU) add remote-walk penalties."""
+        return self.config.walk_latency
+
+    def _walk_done(self, key: tuple[int, int]) -> None:
+        walk = self._walking.get(key)
+        if walk is None:
+            raise SimulationError(f"walk completion for unknown key {key}")
+        table = self.spaces.get(walk.pasid)
+        if not table.is_mapped(walk.vpn) and self.fault_handler is not None:
+            # Demand fault: the walker stalls while the host services it
+            # (the driver maps the page — or, under Barre, its whole
+            # coalescing group, Section VI).
+            self.stats.bump("page_faults")
+            latency = self.fault_handler(walk.pasid, walk.vpn)
+            self.queue.schedule(latency, lambda: self._walk_done(key))
+            return
+        del self._walking[key]
+        self._free_ptws += 1
+        fields = table.walk(walk.vpn)
+        if self._tlb is not None:
+            self._tlb.insert(TlbEntry(pasid=walk.pasid, vpn=walk.vpn,
+                                      global_pfn=fields.global_pfn,
+                                      coal=fields))
+        for request in walk.requests:
+            self._finish(request, fields.global_pfn, fields, "walk")
+        if self.barre_enabled and \
+                fields.coalesced_under(self.pec.compact_bitmap):
+            self._coalesce_pending(walk, fields)
+        self._dispatch()
+
+    def _coalesce_pending(self, walk: _WalkState, fields) -> None:
+        """Answer queued requests in the same coalescing group (Fig 7b)."""
+        desc = self.pec.descriptor_for(walk.pasid, walk.vpn)
+        if desc is None:
+            return
+        survivors: deque[AtsRequest] = deque()
+        scanned = 0
+        # The PEC scan window is the PW-queue itself (Section IV-F): only
+        # requests that fit the queue's entries are visible to the logic.
+        window = self.config.pw_queue_entries
+        while self._pending:
+            request = self._pending.popleft()
+            scanned += 1
+            if (scanned > window or request.pasid != walk.pasid
+                    or not desc.contains(request.vpn)):
+                survivors.append(request)
+                continue
+            pfn = self.pec.calculate(walk.pasid, walk.vpn, fields, request.vpn)
+            if pfn is None:
+                survivors.append(request)
+                continue
+            self.stats.bump("pec_coalesced")
+            own = self.pec.synthesize_fields(walk.pasid, request.vpn,
+                                             walk.vpn, fields)
+            if self._tlb is not None and own is not None:
+                self._tlb.insert(TlbEntry(pasid=request.pasid, vpn=request.vpn,
+                                          global_pfn=pfn, coal=own))
+            self._finish(request, pfn, own, "pec")
+        self._pending = survivors
+
+    # -- egress ---------------------------------------------------------------
+
+    def _finish(self, request: AtsRequest, global_pfn: int, fields,
+                source: str) -> None:
+        arrival = self._arrival.pop(id(request), self.queue.now)
+        self.stats.observe("processing_time", self.queue.now - arrival)
+        coal = fields if (fields is not None and fields.coalesced_under(
+            self.pec.compact_bitmap)) else None
+        desc = None
+        if coal is not None:
+            desc = self.pec.descriptor_for(request.pasid, request.vpn)
+        self.stats.bump("ats_responses")
+        self.respond(AtsResponse(
+            pasid=request.pasid, vpn=request.vpn, global_pfn=global_pfn,
+            dst_chiplet=request.src_chiplet, source=source, coal=coal,
+            pec=desc, prefetch=request.prefetch))
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def walks_in_flight(self) -> int:
+        return len(self._walking)
+
+    def coalesced_fraction(self) -> float:
+        """Fraction of ATS responses produced by calculation (Fig 16b)."""
+        return self.stats.ratio("pec_coalesced", "ats_responses")

@@ -1,0 +1,41 @@
+"""Page mapping: allocators, policies, coalescing groups, the GPU driver."""
+
+from repro.mapping.allocator import FrameAllocator, FrameAllocatorGroup
+from repro.mapping.coalescing import (
+    DataDescriptor,
+    PEC_ENTRY_BITS,
+    PecBuffer,
+    calculate_pending_pfn,
+    merged_group_vpns,
+)
+from repro.mapping.driver import AllocatedData, GpuDriver
+from repro.mapping.policies import (
+    AllocationRequest,
+    ChunkingPolicy,
+    CodaPolicy,
+    LaspPolicy,
+    MappingPolicy,
+    PlacementPlan,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AllocatedData",
+    "AllocationRequest",
+    "ChunkingPolicy",
+    "CodaPolicy",
+    "DataDescriptor",
+    "FrameAllocator",
+    "FrameAllocatorGroup",
+    "GpuDriver",
+    "LaspPolicy",
+    "MappingPolicy",
+    "PEC_ENTRY_BITS",
+    "PecBuffer",
+    "PlacementPlan",
+    "RoundRobinPolicy",
+    "calculate_pending_pfn",
+    "make_policy",
+    "merged_group_vpns",
+]

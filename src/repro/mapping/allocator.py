@@ -1,0 +1,149 @@
+"""Per-chiplet physical frame allocators.
+
+The GPU driver's Barre allocation (Section IV-G) iterates the available PFNs
+of one chiplet and checks whether the same local PFN is also free in the
+sharer chiplets; :meth:`FrameAllocatorGroup.find_common_free` implements that
+search, and :meth:`find_common_free_run` the contiguous variant used by
+contiguity-aware group expansion (Section V-B).
+
+Searches scan upward from per-search-key hints so that allocating millions
+of frames stays amortized O(1) per frame; any release resets the hints
+(releases are rare — data frees and page migrations only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import AllocationError
+
+
+class FrameAllocator:
+    """Free-set allocator for one chiplet's local frames."""
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames <= 0:
+            raise AllocationError(f"need positive frame count, got {num_frames}")
+        self.num_frames = num_frames
+        self._free: set[int] = set(range(num_frames))
+        #: Lower bound on the lowest free frame (scan hint).
+        self._hint = 0
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def is_free(self, local_pfn: int) -> bool:
+        return local_pfn in self._free
+
+    def allocate(self, local_pfn: int) -> int:
+        """Claim a specific frame; raises if not free."""
+        if local_pfn not in self._free:
+            raise AllocationError(f"local PFN {local_pfn:#x} is not free")
+        self._free.discard(local_pfn)
+        return local_pfn
+
+    def allocate_any(self) -> int:
+        """Claim the lowest-numbered free frame (default driver path)."""
+        if not self._free:
+            raise AllocationError("chiplet memory exhausted")
+        pfn = self._hint
+        while pfn not in self._free:
+            pfn += 1
+        self._free.discard(pfn)
+        self._hint = pfn + 1
+        return pfn
+
+    def release(self, local_pfn: int) -> None:
+        if local_pfn in self._free:
+            raise AllocationError(f"double free of local PFN {local_pfn:#x}")
+        if not 0 <= local_pfn < self.num_frames:
+            raise AllocationError(f"local PFN {local_pfn:#x} out of range")
+        self._free.add(local_pfn)
+        self._hint = min(self._hint, local_pfn)
+
+    def fragment(self, fraction: float, rng: np.random.Generator) -> list[int]:
+        """Pre-claim a random ``fraction`` of frames to model fragmentation.
+
+        Returns the claimed frames so tests can release them again.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise AllocationError(f"fraction {fraction} out of [0, 1)")
+        count = int(len(self._free) * fraction)
+        victims = rng.choice(np.fromiter(self._free, dtype=np.int64),
+                             size=count, replace=False)
+        claimed = [int(v) for v in victims]
+        self._free.difference_update(claimed)
+        return claimed
+
+
+class FrameAllocatorGroup:
+    """All chiplets' allocators, with cross-chiplet common-free searches."""
+
+    def __init__(self, num_chiplets: int, frames_per_chiplet: int) -> None:
+        self.allocators = [FrameAllocator(frames_per_chiplet)
+                           for _ in range(num_chiplets)]
+        self.frames_per_chiplet = frames_per_chiplet
+        #: Scan hints keyed by (sharers, run_length); reset on release.
+        self._hints: dict[tuple[tuple[int, ...], int], int] = {}
+
+    def __getitem__(self, chiplet: int) -> FrameAllocator:
+        return self.allocators[chiplet]
+
+    def __len__(self) -> int:
+        return len(self.allocators)
+
+    def reset_hints(self) -> None:
+        """Frames were released somewhere: conservative hints restart at 0."""
+        self._hints.clear()
+
+    def _scan(self, sharers: tuple[int, ...], run_length: int,
+              start_from: int) -> int | None:
+        if not sharers:
+            raise AllocationError("common-free search needs at least one sharer")
+        if run_length <= 0:
+            raise AllocationError(f"run length must be positive, got {run_length}")
+        key = (tuple(sorted(sharers)), run_length)
+        pfn = max(start_from, self._hints.get(key, 0))
+        allocs = [self.allocators[c] for c in sharers]
+        limit = self.frames_per_chiplet - run_length
+        while pfn <= limit:
+            span_ok = True
+            for offset in range(run_length):
+                if not all(a.is_free(pfn + offset) for a in allocs):
+                    span_ok = False
+                    pfn = pfn + offset + 1
+                    break
+            if span_ok:
+                if start_from <= self._hints.get(key, 0):
+                    self._hints[key] = pfn
+                return pfn
+        if start_from <= self._hints.get(key, 0):
+            self._hints[key] = self.frames_per_chiplet
+        return None
+
+    def find_common_free(self, sharers: tuple[int, ...],
+                         start_from: int = 0) -> int | None:
+        """Lowest local PFN >= ``start_from`` free in *every* sharer."""
+        return self._scan(sharers, 1, start_from)
+
+    def find_common_free_run(self, sharers: tuple[int, ...], run_length: int,
+                             start_from: int = 0) -> int | None:
+        """Lowest start of ``run_length`` *consecutive* common-free PFNs.
+
+        This is the contiguity opportunity that coalescing-group expansion
+        exploits (Section V-B); returns None when no such run exists.
+        """
+        return self._scan(sharers, run_length, start_from)
+
+    def allocate_common(self, sharers: tuple[int, ...], local_pfn: int) -> None:
+        """Claim ``local_pfn`` on every sharer chiplet atomically."""
+        claimed: list[int] = []
+        try:
+            for chiplet in sharers:
+                self.allocators[chiplet].allocate(local_pfn)
+                claimed.append(chiplet)
+        except AllocationError:
+            for chiplet in claimed:
+                self.allocators[chiplet].release(local_pfn)
+            raise

@@ -1,0 +1,149 @@
+"""Page/CTA mapping policies (Section II-B).
+
+A policy decides, for one data object, how its virtual pages interleave
+across chiplets: the per-chiplet consecutive-page granularity
+(``interlv_gran``) and the chiplet order (``gpu_map``).  CTAs are co-located
+with the pages they touch (LASP/CODA/chunking semantics), which
+:meth:`MappingPolicy.cta_chiplet` expresses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.common.config import MappingKind
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """What the driver knows about a data object at ``gpuMalloc`` time."""
+
+    data_id: int
+    pages: int
+    #: Compiler locality hint: pages per logical row (LASP uses this to pick
+    #: the row/column interleave dimension).  0 means "no hint".
+    row_pages: int = 0
+    #: CODA maps irregularly-accessed data round-robin instead of blocked.
+    irregular: bool = False
+    pasid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pages <= 0:
+            raise ConfigError(f"data {self.data_id} needs positive pages")
+        if self.row_pages < 0:
+            raise ConfigError(f"negative row_pages for data {self.data_id}")
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """A policy's decision for one data object."""
+
+    interlv_gran: int
+    gpu_map: tuple[int, ...]
+
+    def chiplet_of_offset(self, page_offset: int) -> int:
+        """Owning chiplet of the ``page_offset``-th page of the data."""
+        within = page_offset % (self.interlv_gran * len(self.gpu_map))
+        return self.gpu_map[within // self.interlv_gran]
+
+
+class MappingPolicy(ABC):
+    """Base class; subclasses implement one paper policy each."""
+
+    kind: MappingKind
+
+    def __init__(self, num_chiplets: int) -> None:
+        if num_chiplets <= 0:
+            raise ConfigError("policy needs at least one chiplet")
+        self.num_chiplets = num_chiplets
+
+    @abstractmethod
+    def place(self, request: AllocationRequest) -> PlacementPlan:
+        """Choose interleave granularity and chiplet order for a data."""
+
+    def cta_chiplet(self, cta_id: int, num_ctas: int,
+                    main_plan: PlacementPlan, main_pages: int) -> int:
+        """Chiplet a CTA runs on: co-located with its slice of the main data.
+
+        CTA *k* predominantly touches page offset ``k/num_ctas`` of the
+        partitioning data, so it is scheduled on the chiplet owning that
+        page — the co-location every policy in Section II-B enforces.
+        """
+        if not 0 <= cta_id < num_ctas:
+            raise ConfigError(f"CTA {cta_id} out of range [0, {num_ctas})")
+        page_offset = min(main_pages - 1, cta_id * main_pages // num_ctas)
+        return main_plan.chiplet_of_offset(page_offset)
+
+    def _blocked_gran(self, pages: int) -> int:
+        """Granularity that splits ``pages`` into one chunk per chiplet."""
+        return max(1, -(-pages // self.num_chiplets))
+
+    def _identity_map(self) -> tuple[int, ...]:
+        return tuple(range(self.num_chiplets))
+
+
+class LaspPolicy(MappingPolicy):
+    """LASP [20]: compiler-guided locality-aware blocked interleave.
+
+    With a row hint, consecutive ``row_pages`` pages (one logical row) land
+    on one chiplet; without one, it degenerates to an even block split.
+    """
+
+    kind = MappingKind.LASP
+
+    def place(self, request: AllocationRequest) -> PlacementPlan:
+        block = self._blocked_gran(request.pages)
+        if request.row_pages:
+            gran = min(max(1, request.row_pages), block)
+        else:
+            gran = block
+        return PlacementPlan(interlv_gran=gran, gpu_map=self._identity_map())
+
+
+class CodaPolicy(MappingPolicy):
+    """CODA [21]: blocked for linear data, round-robin for irregular data."""
+
+    kind = MappingKind.CODA
+
+    def place(self, request: AllocationRequest) -> PlacementPlan:
+        if request.irregular:
+            return PlacementPlan(interlv_gran=1, gpu_map=self._identity_map())
+        gran = self._blocked_gran(request.pages)
+        if request.row_pages:
+            gran = min(max(1, request.row_pages), gran)
+        return PlacementPlan(interlv_gran=gran, gpu_map=self._identity_map())
+
+
+class RoundRobinPolicy(MappingPolicy):
+    """Locality-oblivious page-granular round-robin (used in Idyll [25])."""
+
+    kind = MappingKind.ROUND_ROBIN
+
+    def place(self, request: AllocationRequest) -> PlacementPlan:
+        return PlacementPlan(interlv_gran=1, gpu_map=self._identity_map())
+
+
+class ChunkingPolicy(MappingPolicy):
+    """Kernel-wide chunking [30]: coarse blocks, no compiler support."""
+
+    kind = MappingKind.CHUNKING
+
+    def place(self, request: AllocationRequest) -> PlacementPlan:
+        return PlacementPlan(interlv_gran=self._blocked_gran(request.pages),
+                             gpu_map=self._identity_map())
+
+
+def make_policy(kind: MappingKind, num_chiplets: int) -> MappingPolicy:
+    """Factory from the config enum."""
+    policies = {
+        MappingKind.LASP: LaspPolicy,
+        MappingKind.CODA: CodaPolicy,
+        MappingKind.ROUND_ROBIN: RoundRobinPolicy,
+        MappingKind.CHUNKING: ChunkingPolicy,
+    }
+    try:
+        return policies[kind](num_chiplets)
+    except KeyError:
+        raise ConfigError(f"unknown mapping policy {kind}") from None

@@ -1,0 +1,138 @@
+"""Four-level radix page table, walked structurally by the IOMMU's PTWs.
+
+The walker traverses real intermediate levels (so tests can observe the
+structure), while the *timing* of a walk is the paper's fixed 500-cycle cost
+charged by the IOMMU (Table II) — the same simplification the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.addresses import VPN_BITS, check_vpn
+from repro.common.errors import TranslationError
+from repro.memsim.pte import PteFields, decode_pte, encode_pte
+
+#: Radix bits per level; 4 levels x 10 bits cover the 40-bit VPN space.
+LEVEL_BITS = 10
+NUM_LEVELS = 4
+assert LEVEL_BITS * NUM_LEVELS == VPN_BITS
+
+
+def level_index(vpn: int, level: int) -> int:
+    """Index into the ``level``-th table (level 0 = root)."""
+    shift = LEVEL_BITS * (NUM_LEVELS - 1 - level)
+    return (vpn >> shift) & ((1 << LEVEL_BITS) - 1)
+
+
+class PageTable:
+    """One process's radix page table mapping VPN -> raw 64-bit PTE."""
+
+    def __init__(self, pasid: int = 0, extended_ptes: bool = False) -> None:
+        self.pasid = pasid
+        self.extended_ptes = extended_ptes
+        self._root: dict = {}
+        self._mapped = 0
+
+    def __len__(self) -> int:
+        return self._mapped
+
+    def map(self, vpn: int, fields: PteFields) -> None:
+        """Install a leaf PTE for ``vpn`` (overwrites an existing mapping)."""
+        check_vpn(vpn)
+        if fields.extended != self.extended_ptes:
+            raise TranslationError(
+                f"PTE layout mismatch: table extended={self.extended_ptes}, "
+                f"fields extended={fields.extended}")
+        node = self._root
+        for level in range(NUM_LEVELS - 1):
+            node = node.setdefault(level_index(vpn, level), {})
+        leaf_index = level_index(vpn, NUM_LEVELS - 1)
+        if leaf_index not in node:
+            self._mapped += 1
+        node[leaf_index] = encode_pte(fields)
+
+    def unmap(self, vpn: int) -> None:
+        """Remove the mapping for ``vpn``; raises if not mapped."""
+        node = self._walk_to_leaf_table(vpn)
+        leaf_index = level_index(vpn, NUM_LEVELS - 1)
+        if node is None or leaf_index not in node:
+            raise TranslationError(f"unmap of unmapped VPN {vpn:#x}")
+        del node[leaf_index]
+        self._mapped -= 1
+
+    def _walk_to_leaf_table(self, vpn: int) -> dict | None:
+        node = self._root
+        for level in range(NUM_LEVELS - 1):
+            node = node.get(level_index(vpn, level))
+            if node is None:
+                return None
+        return node
+
+    def is_mapped(self, vpn: int) -> bool:
+        node = self._walk_to_leaf_table(vpn)
+        return node is not None and level_index(vpn, NUM_LEVELS - 1) in node
+
+    def walk(self, vpn: int) -> PteFields:
+        """Translate ``vpn``; raises :class:`TranslationError` if unmapped.
+
+        The simulator maps all pages before kernel launch (Section II-B), so
+        an unmapped VPN here indicates a bug, not a demand fault.
+        """
+        check_vpn(vpn)
+        node = self._walk_to_leaf_table(vpn)
+        leaf_index = level_index(vpn, NUM_LEVELS - 1)
+        if node is None or leaf_index not in node:
+            raise TranslationError(
+                f"page table walk on unmapped VPN {vpn:#x} (pasid {self.pasid})")
+        fields = decode_pte(node[leaf_index], extended=self.extended_ptes)
+        if not fields.present:
+            raise TranslationError(f"PTE for VPN {vpn:#x} not present")
+        return fields
+
+    def raw_pte(self, vpn: int) -> int:
+        """The stored 64-bit PTE integer (for encoding-level tests)."""
+        node = self._walk_to_leaf_table(vpn)
+        leaf_index = level_index(vpn, NUM_LEVELS - 1)
+        if node is None or leaf_index not in node:
+            raise TranslationError(f"no PTE for VPN {vpn:#x}")
+        return node[leaf_index]
+
+    def mappings(self) -> Iterator[tuple[int, PteFields]]:
+        """Iterate (vpn, fields) over all leaf mappings, ascending VPN."""
+
+        def recurse(node: dict, level: int, prefix: int) -> Iterator[tuple[int, PteFields]]:
+            for index in sorted(node):
+                vpn_part = (prefix << LEVEL_BITS) | index
+                if level == NUM_LEVELS - 1:
+                    yield vpn_part, decode_pte(node[index], extended=self.extended_ptes)
+                else:
+                    yield from recurse(node[index], level + 1, vpn_part)
+
+        yield from recurse(self._root, 0, 0)
+
+
+class AddressSpaceRegistry:
+    """PASID -> page table, as the IOMMU sees it (multi-app, Section VII-I)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[int, PageTable] = {}
+
+    def create(self, pasid: int, extended_ptes: bool = False) -> PageTable:
+        if pasid in self._tables:
+            raise TranslationError(f"PASID {pasid} already registered")
+        table = PageTable(pasid=pasid, extended_ptes=extended_ptes)
+        self._tables[pasid] = table
+        return table
+
+    def get(self, pasid: int) -> PageTable:
+        try:
+            return self._tables[pasid]
+        except KeyError:
+            raise TranslationError(f"no page table for PASID {pasid}") from None
+
+    def __contains__(self, pasid: int) -> bool:
+        return pasid in self._tables
+
+    def __iter__(self) -> Iterator[PageTable]:
+        return iter(self._tables.values())

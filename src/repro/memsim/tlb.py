@@ -1,0 +1,184 @@
+"""Set-associative, LRU TLB with miss-status-holding registers (MSHRs).
+
+Used for both L1 (per-stream, fully associative in the baseline) and L2
+(chiplet-shared, 512-entry 16-way) TLBs, and for the optional IOMMU TLB.
+
+Entries carry the translation payload plus Barre's coalescing metadata: the
+decoded PTE coalescing fields and the PEC-buffer data descriptor that the
+ATS response piggybacks (Section V-A3), which is what lets F-Barre calculate
+sibling PFNs from a TLB entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.config import TlbConfig
+from repro.common.stats import StatSet
+
+
+@dataclass
+class TlbEntry:
+    """One translation held in a TLB."""
+
+    pasid: int
+    vpn: int
+    global_pfn: int
+    #: Decoded coalescing PTE fields (None when the page is uncoalesced).
+    coal: Any = None
+    #: PEC-buffer data descriptor piggybacked on the ATS response.
+    pec: Any = None
+    #: Cached sibling (coalescing) VPNs, filled by the F-Barre agent on
+    #: insert so the matching eviction reuses the same set.
+    siblings: Any = None
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.pasid, self.vpn)
+
+
+class Tlb:
+    """A set-associative TLB with true-LRU replacement.
+
+    ``on_insert`` / ``on_evict`` hooks let F-Barre mirror TLB contents into
+    its cuckoo filters (Section V-A2) without the TLB knowing about filters.
+    """
+
+    def __init__(self, config: TlbConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.stats = StatSet(name)
+        self._sets: list[OrderedDict[tuple[int, int], TlbEntry]] = [
+            OrderedDict() for _ in range(config.sets)]
+        self.on_insert: Callable[[TlbEntry], None] | None = None
+        self.on_evict: Callable[[TlbEntry], None] | None = None
+
+    def _set_for(self, vpn: int) -> OrderedDict[tuple[int, int], TlbEntry]:
+        return self._sets[vpn % self.config.sets]
+
+    def lookup(self, pasid: int, vpn: int) -> TlbEntry | None:
+        """Probe the TLB; refreshes LRU on hit."""
+        entries = self._set_for(vpn)
+        key = (pasid, vpn)
+        entry = entries.get(key)
+        if entry is None:
+            self.stats.bump("misses")
+            return None
+        entries.move_to_end(key)
+        self.stats.bump("hits")
+        return entry
+
+    def probe(self, pasid: int, vpn: int) -> TlbEntry | None:
+        """Non-destructive probe: no LRU update, no hit/miss accounting.
+
+        Used by coalescing-VPN searches (F-Barre) and peer probes
+        (Valkyrie/Least), which must not perturb replacement state.
+        """
+        return self._set_for(vpn).get((pasid, vpn))
+
+    def insert(self, entry: TlbEntry) -> TlbEntry | None:
+        """Install ``entry``; returns the evicted victim, if any."""
+        entries = self._set_for(entry.vpn)
+        victim = None
+        if entry.key in entries:
+            entries.pop(entry.key)
+        elif len(entries) >= self.config.ways:
+            _key, victim = entries.popitem(last=False)
+            self.stats.bump("evictions")
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        entries[entry.key] = entry
+        self.stats.bump("inserts")
+        if self.on_insert is not None:
+            self.on_insert(entry)
+        return victim
+
+    def invalidate(self, pasid: int, vpn: int) -> TlbEntry | None:
+        """Remove one entry (page migration / shootdown path)."""
+        entries = self._set_for(vpn)
+        entry = entries.pop((pasid, vpn), None)
+        if entry is not None:
+            self.stats.bump("invalidations")
+            if self.on_evict is not None:
+                self.on_evict(entry)
+        return entry
+
+    def shootdown(self) -> int:
+        """Flush everything; returns how many entries were dropped."""
+        dropped = 0
+        for entries in self._sets:
+            while entries:
+                _key, entry = entries.popitem(last=False)
+                dropped += 1
+                if self.on_evict is not None:
+                    self.on_evict(entry)
+        self.stats.bump("shootdowns")
+        return dropped
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def entries(self) -> list[TlbEntry]:
+        """Snapshot of all resident entries (test/debug aid)."""
+        return [e for s in self._sets for e in s.values()]
+
+
+@dataclass
+class _MshrSlot:
+    waiters: list[Callable[[Any], None]] = field(default_factory=list)
+
+
+class MshrFile:
+    """Miss-status holding registers: merge outstanding misses per key.
+
+    ``allocate`` returns:
+
+    * ``"primary"`` — first miss for the key; the caller must launch the fill.
+    * ``"merged"`` — an outstanding miss exists; callback queued behind it.
+    * ``"full"``   — no free MSHR; the caller must stall (register with
+      :meth:`wait_for_slot` — this backpressure is what Fig 4's MSHR sweep
+      exercises).
+    """
+
+    def __init__(self, capacity: int, name: str = "mshr") -> None:
+        self.capacity = capacity
+        self.stats = StatSet(name)
+        self._slots: dict[Any, _MshrSlot] = {}
+        self._slot_waiters: list[Callable[[], None]] = []
+
+    def allocate(self, key: Any, callback: Callable[[Any], None]) -> str:
+        slot = self._slots.get(key)
+        if slot is not None:
+            slot.waiters.append(callback)
+            self.stats.bump("merged")
+            return "merged"
+        if len(self._slots) >= self.capacity:
+            self.stats.bump("stalls")
+            return "full"
+        self._slots[key] = _MshrSlot(waiters=[callback])
+        self.stats.bump("allocated")
+        return "primary"
+
+    def wait_for_slot(self, retry: Callable[[], None]) -> None:
+        """Queue a stalled requester; re-invoked when an MSHR frees up."""
+        self._slot_waiters.append(retry)
+
+    def release(self, key: Any, result: Any) -> None:
+        """Fill arrived: pop the slot and run every queued callback.
+
+        Stalled requesters are drained while capacity remains: a retried
+        requester that no longer needs a slot (its line was filled in the
+        meantime) must not strand the ones behind it.
+        """
+        slot = self._slots.pop(key)
+        for waiter in slot.waiters:
+            waiter(result)
+        while self._slot_waiters and len(self._slots) < self.capacity:
+            self._slot_waiters.pop(0)()
+
+    def outstanding(self) -> int:
+        return len(self._slots)
+
+    def is_pending(self, key: Any) -> bool:
+        return key in self._slots

@@ -1,0 +1,5 @@
+"""Runtime page migration (ACUD-like counter-based scheme)."""
+
+from repro.migration.acud import MigrationEngine
+
+__all__ = ["MigrationEngine"]

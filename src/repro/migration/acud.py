@@ -1,0 +1,71 @@
+"""Counter-based page migration (ACUD-like, Sections VII-G and II).
+
+Each page keeps per-chiplet remote-access counters; when a remote chiplet's
+count reaches the threshold (16 in the paper), the page migrates there.  A
+migration copies the page over the mesh (cost scales with page size — the
+super-page penalty of Fig 2/25), rewrites the PTE, excludes the page from
+its coalescing group, and shoots down stale TLB entries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.common.config import MigrationConfig
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet
+from repro.mapping.driver import GpuDriver
+from repro.memsim.links import Mesh
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.chiplet import Chiplet
+
+
+class MigrationEngine:
+    """Watches data accesses and migrates hot remote pages."""
+
+    def __init__(self, queue: EventQueue, config: MigrationConfig,
+                 driver: GpuDriver, chiplets: list["Chiplet"], mesh: Mesh,
+                 page_scale: int = 1) -> None:
+        self.queue = queue
+        self.config = config
+        self.driver = driver
+        self.chiplets = chiplets
+        self.mesh = mesh
+        self.page_scale = page_scale
+        self.stats = StatSet("migration")
+        self._counters: Counter[tuple[int, int, int]] = Counter()
+
+    def note_access(self, accessor: int, owner: int, pasid: int,
+                    vpn: int) -> None:
+        """Called per data access with the accessing and owning chiplets."""
+        if not self.config.enabled or accessor == owner:
+            return
+        key = (pasid, vpn, accessor)
+        self._counters[key] += 1
+        if self._counters[key] >= self.config.threshold:
+            self._migrate(pasid, vpn, src=owner, dest=accessor)
+
+    def _migrate(self, pasid: int, vpn: int, src: int, dest: int) -> None:
+        affected = self.driver.migrate_page(pasid, vpn, dest)
+        if not affected:
+            return
+        self.stats.bump("migrations")
+        # Copy cost: a fixed fault-handling overhead plus mesh occupancy
+        # proportional to the page size — a 2 MB page drags 512x the data
+        # across the mesh (the Fig 2 penalty).
+        copy_cycles = (self.config.copy_fixed_overhead
+                       + self.config.page_copy_latency * self.page_scale)
+        self.mesh.link(src, dest).occupy(copy_cycles)
+        self.stats.observe("copy_cycles", copy_cycles)
+        for changed_vpn in affected:
+            for chiplet in self.chiplets:
+                chiplet.invalidate(pasid, changed_vpn)
+        # Reset every counter of the moved page: it starts fresh at home.
+        for chiplet_id in range(len(self.chiplets)):
+            self._counters.pop((pasid, vpn, chiplet_id), None)
+
+    @property
+    def migrations(self) -> int:
+        return self.stats.count("migrations")

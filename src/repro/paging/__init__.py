@@ -1,0 +1,5 @@
+"""On-demand paging (Section VI extension)."""
+
+from repro.paging.demand import DemandPager
+
+__all__ = ["DemandPager"]

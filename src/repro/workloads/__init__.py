@@ -1,0 +1,21 @@
+"""Synthetic workloads reproducing the paper's 19 Table I benchmarks."""
+
+from repro.workloads.base import CtaTrace, DataSpec, Workload
+from repro.workloads.suite import (
+    APP_ORDER,
+    CATEGORY_OF,
+    apps_by_category,
+    get_workload,
+    make_suite,
+)
+
+__all__ = [
+    "APP_ORDER",
+    "CATEGORY_OF",
+    "CtaTrace",
+    "DataSpec",
+    "Workload",
+    "apps_by_category",
+    "get_workload",
+    "make_suite",
+]

@@ -1,0 +1,63 @@
+"""Trace export/import: freeze generated CTA traces to ``.npz`` files.
+
+Synthetic traces are deterministic given (workload, seed, scale), but
+freezing them to disk lets experiments be re-run bit-identically across
+library versions, shared with others, or replaced with externally captured
+traces (e.g. converted from a real profiler dump) without touching the
+generators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import CtaTrace, Workload
+
+_FORMAT_VERSION = 1
+
+
+def save_ctas(path: str | Path, workload: Workload,
+              ctas: list[CtaTrace]) -> None:
+    """Write one workload's CTA traces to a compressed ``.npz``."""
+    if not ctas:
+        raise ConfigError("refusing to save an empty trace")
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.asarray([_FORMAT_VERSION]),
+        "abbr": np.asarray([workload.abbr]),
+        "num_ctas": np.asarray([len(ctas)]),
+        "cta_ids": np.asarray([c.cta_id for c in ctas], dtype=np.int32),
+        "pasids": np.asarray([c.pasid for c in ctas], dtype=np.int32),
+        "lengths": np.asarray([len(c) for c in ctas], dtype=np.int64),
+        "data_index": np.concatenate([c.data_index for c in ctas]),
+        "page_offset": np.concatenate([c.page_offset for c in ctas]),
+    }
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_ctas(path: str | Path,
+              expected_abbr: str | None = None) -> list[CtaTrace]:
+    """Read CTA traces written by :func:`save_ctas`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ConfigError(
+                f"trace format v{version} unsupported (want v{_FORMAT_VERSION})")
+        abbr = str(data["abbr"][0])
+        if expected_abbr is not None and abbr != expected_abbr:
+            raise ConfigError(
+                f"trace is for {abbr!r}, expected {expected_abbr!r}")
+        lengths = data["lengths"]
+        bounds = np.concatenate([[0], np.cumsum(lengths)])
+        data_index = data["data_index"]
+        page_offset = data["page_offset"]
+        ctas = []
+        for i, (cta_id, pasid) in enumerate(zip(data["cta_ids"],
+                                                data["pasids"])):
+            lo, hi = bounds[i], bounds[i + 1]
+            ctas.append(CtaTrace(cta_id=int(cta_id), pasid=int(pasid),
+                                 data_index=data_index[lo:hi],
+                                 page_offset=page_offset[lo:hi]))
+        return ctas

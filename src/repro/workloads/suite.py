@@ -1,0 +1,225 @@
+"""The 19 Table I benchmarks as calibrated synthetic workloads.
+
+Footprints are in 4 KB pages; with 4 chiplets the per-chiplet L2 TLB reach
+is 512 pages, so "low" apps fit comfortably, "mid" apps cycle a few times
+the reach with structured locality, and "high" apps gather or stride over
+footprints far beyond it.  ``weight`` is warp instructions per
+translation-triggering access (values below 1 model divergent warps whose
+single memory instruction touches several pages); ``gap`` is the compute
+spacing between issues.
+
+CTA counts are chosen so each CTA's slice of the main data aligns with the
+mapping policy's per-chiplet chunk (``row_pages``) — this reproduces the
+CTA/page co-location that LASP and CODA enforce (Section II-B).  For
+stencils, ``row_pages`` is a multi-row chunk and ``params["row_width"]`` is
+the true row width, so most vertical neighbours stay on-chiplet.
+
+The paper's abbreviations ``fwf``/``fdfd2d`` (Table I typography) are
+normalized to ``fwt``/``fdtd2d`` here.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import DataSpec, Workload
+
+#: Table I order, preserved for every figure's x-axis.
+APP_ORDER = ("gemv", "corr", "adi", "fft", "pr", "fwt", "cov", "sssp",
+             "jac2d", "fdtd2d", "lu", "nw", "atax", "st2d", "matr", "gups",
+             "bicg", "spmv", "gesm")
+
+CATEGORY_OF = {
+    "gemv": "low", "corr": "low", "adi": "low", "fft": "low", "pr": "low",
+    "fwt": "mid", "cov": "mid", "sssp": "mid", "jac2d": "mid",
+    "fdtd2d": "mid", "lu": "mid", "nw": "mid", "atax": "mid", "st2d": "mid",
+    "matr": "high", "gups": "high", "bicg": "high", "spmv": "high",
+    "gesm": "high",
+}
+
+
+def make_suite() -> dict[str, Workload]:
+    """Fresh instances of all 19 workloads, keyed by abbreviation."""
+    suite = {
+        "gemv": Workload(
+            abbr="gemv", app_name="gemver", suite="polybench",
+            category="low", paper_mpki=0.015,
+            data=(DataSpec("A", pages=256, row_pages=8),
+                  DataSpec("x", pages=8, shared=True),
+                  DataSpec("y", pages=8, shared=True),
+                  DataSpec("z", pages=8, shared=True)),
+            pattern="stream", weight=12.0, gap=24, shared_mix=0.25,
+            num_ctas=32, accesses_per_cta=1500,
+            params={"touches_per_page": 16}),
+        "corr": Workload(
+            abbr="corr", app_name="correlation", suite="polybench",
+            category="low", paper_mpki=0.045,
+            data=(DataSpec("data", pages=320, row_pages=8),
+                  DataSpec("corr", pages=320, row_pages=8),
+                  DataSpec("mean", pages=8, shared=True)),
+            pattern="blocked", weight=12.0, gap=24, shared_mix=0.1,
+            num_ctas=40, accesses_per_cta=1200,
+            params={"panel_pages": 4, "touches_per_page": 8}),
+        "adi": Workload(
+            abbr="adi", app_name="adi", suite="polybench",
+            category="low", paper_mpki=0.051,
+            data=(DataSpec("X", pages=512, row_pages=16),
+                  DataSpec("A", pages=512, row_pages=16)),
+            pattern="stencil", weight=10.0, gap=20,
+            num_ctas=32, accesses_per_cta=1500,
+            params={"row_width": 8, "touches_per_page": 4}),
+        "fft": Workload(
+            abbr="fft", app_name="fft", suite="Shoc",
+            category="low", paper_mpki=0.48,
+            data=(DataSpec("signal", pages=1536, row_pages=16),
+                  DataSpec("twiddle", pages=16, shared=True)),
+            pattern="stride", weight=6.0, gap=12, shared_mix=0.1,
+            num_ctas=96, accesses_per_cta=500,
+            params={"stride_pages": 3, "local": True}),
+        "pr": Workload(
+            abbr="pr", app_name="pagerank", suite="HeteroMark",
+            category="low", paper_mpki=0.828,
+            data=(DataSpec("edges", pages=2048, row_pages=16),
+                  DataSpec("ranks", pages=512, irregular=True, shared=True)),
+            pattern="gather", weight=6.0, gap=12,
+            num_ctas=128, accesses_per_cta=400,
+            params={"gather_data": 1, "gather_fraction": 0.3,
+                    "gather_dist": "zipf", "zipf_a": 1.4,
+                    "touches_per_page": 4}),
+        "fwt": Workload(
+            abbr="fwt", app_name="fastwalshtransform", suite="AMD APP SDK",
+            category="mid", paper_mpki=2.27,
+            data=(DataSpec("array", pages=1536, row_pages=16),),
+            pattern="stride", weight=5.0, gap=10,
+            num_ctas=64, accesses_per_cta=300,
+            params={"stride_pages": 64, "phase_pages": 3}),
+        "cov": Workload(
+            abbr="cov", app_name="covariance", suite="polybench",
+            category="mid", paper_mpki=3.24,
+            data=(DataSpec("data", pages=1280, row_pages=16),
+                  DataSpec("cov", pages=1280, row_pages=16)),
+            pattern="blocked", weight=5.0, gap=10,
+            num_ctas=80, accesses_per_cta=240,
+            params={"panel_pages": 8, "touches_per_page": 4}),
+        "sssp": Workload(
+            abbr="sssp", app_name="sssp", suite="Panotia",
+            category="mid", paper_mpki=3.38,
+            data=(DataSpec("edges", pages=3072, row_pages=16),
+                  DataSpec("dist", pages=512, irregular=True, shared=True)),
+            pattern="gather", weight=5.0, gap=10,
+            num_ctas=192, accesses_per_cta=100,
+            params={"gather_data": 1, "gather_fraction": 0.35,
+                    "gather_dist": "zipf", "zipf_a": 1.2,
+                    "touches_per_page": 3}),
+        "jac2d": Workload(
+            abbr="jac2d", app_name="jacobi2d", suite="polybench",
+            category="mid", paper_mpki=4.78,
+            data=(DataSpec("A", pages=2048, row_pages=64),
+                  DataSpec("B", pages=2048, row_pages=64)),
+            pattern="stencil", weight=4.0, gap=8,
+            num_ctas=32, accesses_per_cta=600,
+            params={"row_width": 16, "touches_per_page": 4}),
+        "fdtd2d": Workload(
+            abbr="fdtd2d", app_name="fdtd2d", suite="polybench",
+            category="mid", paper_mpki=10.12,
+            data=(DataSpec("ex", pages=3072, row_pages=48),
+                  DataSpec("ey", pages=3072, row_pages=48),
+                  DataSpec("hz", pages=3072, row_pages=48)),
+            pattern="stencil", weight=3.0, gap=6,
+            num_ctas=64, accesses_per_cta=300,
+            params={"row_width": 24, "touches_per_page": 3}),
+        "lu": Workload(
+            abbr="lu", app_name="lu", suite="polybench",
+            category="mid", paper_mpki=17.14,
+            data=(DataSpec("A", pages=2560, row_pages=32),),
+            pattern="blocked", weight=3.0, gap=6,
+            num_ctas=80, accesses_per_cta=240,
+            params={"panel_pages": 16, "touches_per_page": 2}),
+        "nw": Workload(
+            abbr="nw", app_name="nw", suite="Rodinia",
+            category="mid", paper_mpki=21.56,
+            data=(DataSpec("score", pages=2560, row_pages=64),
+                  DataSpec("ref", pages=2560, row_pages=64)),
+            pattern="stencil", weight=2.5, gap=5,
+            num_ctas=40, accesses_per_cta=480,
+            params={"row_width": 32, "touches_per_page": 3}),
+        "atax": Workload(
+            abbr="atax", app_name="atax", suite="polybench",
+            category="mid", paper_mpki=34.28,
+            data=(DataSpec("A", pages=2048, row_pages=32),
+                  DataSpec("x", pages=1024, irregular=True, shared=True)),
+            pattern="gather", weight=2.5, gap=5,
+            num_ctas=64, accesses_per_cta=300,
+            params={"gather_data": 1, "gather_fraction": 0.35,
+                    "touches_per_page": 2, "gather_repeat": 2}),
+        "st2d": Workload(
+            abbr="st2d", app_name="stencil2d", suite="Shoc",
+            category="mid", paper_mpki=46.90,
+            data=(DataSpec("grid", pages=4096, row_pages=64),
+                  DataSpec("out", pages=4096, row_pages=64)),
+            pattern="stencil", weight=2.0, gap=4,
+            num_ctas=64, accesses_per_cta=300,
+            params={"row_width": 32, "touches_per_page": 3}),
+        "matr": Workload(
+            abbr="matr", app_name="matrixtranspose", suite="AMD APP SDK",
+            category="high", paper_mpki=174.99,
+            data=(DataSpec("in", pages=3072, row_pages=64),
+                  DataSpec("out", pages=3072, row_pages=64)),
+            pattern="stride", weight=1.5, gap=3,
+            num_ctas=48, accesses_per_cta=400,
+            params={"stride_pages": 63, "phase_pages": 7}),
+        "gups": Workload(
+            abbr="gups", app_name="gups", suite="MAFIA",
+            category="high", paper_mpki=724.80,
+            data=(DataSpec("table", pages=8192, irregular=True),),
+            pattern="random", weight=1.2, gap=3,
+            num_ctas=64, accesses_per_cta=300,
+            params={}),
+        "bicg": Workload(
+            abbr="bicg", app_name="bicg", suite="polybench",
+            category="high", paper_mpki=2128.63,
+            data=(DataSpec("A", pages=2048, row_pages=32),
+                  DataSpec("p", pages=4096, irregular=True, shared=True),
+                  DataSpec("r", pages=1024, irregular=True, shared=True)),
+            pattern="gather", weight=0.6, gap=2,
+            num_ctas=64, accesses_per_cta=300,
+            params={"gather_data": 1, "gather_fraction": 0.6,
+                    "touches_per_page": 2, "gather_repeat": 3}),
+        "spmv": Workload(
+            abbr="spmv", app_name="spmv", suite="Shoc",
+            category="high", paper_mpki=3835.95,
+            data=(DataSpec("rows", pages=2048, row_pages=32),
+                  DataSpec("vec", pages=6144, irregular=True, shared=True)),
+            pattern="gather", weight=0.45, gap=1,
+            num_ctas=64, accesses_per_cta=300,
+            params={"gather_data": 1, "gather_fraction": 0.7,
+                    "touches_per_page": 2, "gather_repeat": 3}),
+        "gesm": Workload(
+            abbr="gesm", app_name="gesummv", suite="polybench",
+            category="high", paper_mpki=4762.86,
+            data=(DataSpec("A", pages=1536, row_pages=32),
+                  DataSpec("B", pages=6144, irregular=True, shared=True)),
+            pattern="gather", weight=0.4, gap=1,
+            num_ctas=48, accesses_per_cta=400,
+            params={"gather_data": 1, "gather_fraction": 0.75,
+                    "touches_per_page": 2, "gather_repeat": 3}),
+    }
+    for abbr, workload in suite.items():
+        if workload.abbr != abbr:
+            raise ConfigError(f"suite key {abbr} != workload {workload.abbr}")
+        if workload.category != CATEGORY_OF[abbr]:
+            raise ConfigError(f"category mismatch for {abbr}")
+    return suite
+
+
+def get_workload(abbr: str) -> Workload:
+    """One fresh workload by Table I abbreviation."""
+    suite = make_suite()
+    try:
+        return suite[abbr]
+    except KeyError:
+        raise ConfigError(
+            f"unknown app {abbr!r}; choose from {APP_ORDER}") from None
+
+
+def apps_by_category(category: str) -> list[str]:
+    return [a for a in APP_ORDER if CATEGORY_OF[a] == category]

@@ -1,0 +1,102 @@
+"""Frame allocator tests, including cross-chiplet common-free searches."""
+
+import numpy as np
+import pytest
+
+from repro.common import AllocationError
+from repro.mapping import FrameAllocator, FrameAllocatorGroup
+
+
+class TestFrameAllocator:
+    def test_allocate_specific_and_release(self):
+        a = FrameAllocator(16)
+        assert a.allocate(5) == 5
+        assert not a.is_free(5)
+        a.release(5)
+        assert a.is_free(5)
+
+    def test_allocate_any_prefers_lowest(self):
+        a = FrameAllocator(16)
+        assert a.allocate_any() == 0
+        assert a.allocate_any() == 1
+
+    def test_double_allocate_rejected(self):
+        a = FrameAllocator(4)
+        a.allocate(2)
+        with pytest.raises(AllocationError):
+            a.allocate(2)
+
+    def test_double_free_rejected(self):
+        a = FrameAllocator(4)
+        a.allocate(2)
+        a.release(2)
+        with pytest.raises(AllocationError):
+            a.release(2)
+
+    def test_exhaustion(self):
+        a = FrameAllocator(2)
+        a.allocate_any()
+        a.allocate_any()
+        with pytest.raises(AllocationError):
+            a.allocate_any()
+
+    def test_fragment_claims_fraction(self):
+        a = FrameAllocator(100)
+        claimed = a.fragment(0.3, np.random.default_rng(1))
+        assert len(claimed) == 30
+        assert a.free_count == 70
+
+
+class TestFrameAllocatorGroup:
+    def test_find_common_free_lowest(self):
+        g = FrameAllocatorGroup(num_chiplets=3, frames_per_chiplet=8)
+        g[0].allocate(0)
+        g[1].allocate(1)
+        g[2].allocate(2)
+        # 0 busy on chiplet 0, 1 on 1, 2 on 2 -> lowest common is 3.
+        assert g.find_common_free((0, 1, 2)) == 3
+
+    def test_find_common_free_respects_subset(self):
+        g = FrameAllocatorGroup(num_chiplets=3, frames_per_chiplet=8)
+        g[2].allocate(0)
+        assert g.find_common_free((0, 1)) == 0  # chiplet 2 not a sharer
+
+    def test_find_common_free_none_when_disjoint(self):
+        g = FrameAllocatorGroup(num_chiplets=2, frames_per_chiplet=2)
+        g[0].allocate(0)
+        g[1].allocate(1)
+        g[0].allocate(1)
+        assert g.find_common_free((0, 1)) is None
+
+    def test_find_common_free_run(self):
+        g = FrameAllocatorGroup(num_chiplets=2, frames_per_chiplet=10)
+        g[0].allocate(1)  # breaks run 0..2 on chiplet 0
+        assert g.find_common_free_run((0, 1), run_length=3) == 2
+
+    def test_run_of_one_equals_single_search(self):
+        g = FrameAllocatorGroup(num_chiplets=2, frames_per_chiplet=4)
+        assert g.find_common_free_run((0, 1), 1) == g.find_common_free((0, 1))
+
+    def test_run_none_when_fragmented(self):
+        g = FrameAllocatorGroup(num_chiplets=2, frames_per_chiplet=6)
+        for pfn in (1, 4):
+            g[0].allocate(pfn)  # free: 0,2,3,5 -> longest run is 2
+        assert g.find_common_free_run((0, 1), 3) is None
+        assert g.find_common_free_run((0, 1), 2) == 2
+
+    def test_allocate_common_is_atomic(self):
+        g = FrameAllocatorGroup(num_chiplets=3, frames_per_chiplet=4)
+        g[2].allocate(1)
+        with pytest.raises(AllocationError):
+            g.allocate_common((0, 1, 2), 1)
+        # Rollback: chiplets 0 and 1 must still have frame 1 free.
+        assert g[0].is_free(1) and g[1].is_free(1)
+
+    def test_start_from_skips_lower_frames(self):
+        g = FrameAllocatorGroup(num_chiplets=2, frames_per_chiplet=8)
+        assert g.find_common_free((0, 1), start_from=5) == 5
+
+    def test_empty_sharers_rejected(self):
+        g = FrameAllocatorGroup(num_chiplets=2, frames_per_chiplet=8)
+        with pytest.raises(AllocationError):
+            g.find_common_free(())

@@ -1,0 +1,52 @@
+"""Area model tests against the paper's Section VII-K numbers."""
+
+from repro.area import (
+    chiplet_area_report,
+    filter_bits,
+    l2_tlb_bits,
+    tlb_entry_growth_fraction,
+)
+from repro.common import CuckooConfig
+from repro.experiments import configs
+
+
+def test_filter_is_1024_9bit_fingerprints():
+    assert filter_bits(CuckooConfig()) == 1024 * 9
+
+
+def test_per_chiplet_state_matches_paper_4_57_kib():
+    report = chiplet_area_report(configs.fbarre())
+    assert report.num_filters == 4  # 3 RCFs + 1 LCF
+    assert abs(report.added_kib - 4.57) < 0.05
+
+
+def test_overhead_ratio_matches_paper_4_21_percent():
+    report = chiplet_area_report(configs.fbarre())
+    assert abs(report.overhead_vs_l2 - 0.0421) < 0.003
+
+
+def test_pec_buffer_is_590_bits():
+    report = chiplet_area_report(configs.fbarre())
+    assert report.pec_buffer_bits == 590
+    # Paper: the PEC buffer alone is ~0.89% of the L2 TLB.
+    assert abs(report.pec_buffer_vs_l2 - 0.0089) < 0.005
+
+
+def test_tlb_entry_growth_near_paper_1_3_percent():
+    assert abs(tlb_entry_growth_fraction() - 0.013) < 0.005
+
+
+def test_larger_filters_scale_linearly():
+    small = filter_bits(CuckooConfig(rows=256))
+    large = filter_bits(CuckooConfig(rows=1024))
+    assert large == 4 * small
+
+
+def test_more_chiplets_mean_more_filters():
+    r8 = chiplet_area_report(configs.fbarre(num_chiplets=8))
+    assert r8.num_filters == 8
+    assert r8.added_bits > chiplet_area_report(configs.fbarre()).added_bits
+
+
+def test_l2_tlb_area_scales_with_entries():
+    assert l2_tlb_bits(1024) == 2 * l2_tlb_bits(512)

@@ -1,0 +1,37 @@
+"""CLI tests (run through main() with a tiny scale)."""
+
+import pytest
+
+from repro.cli import FIGURES, SCHEMES, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "gemv" in out and "fbarre" in out and "fig15" in out
+
+
+def test_run_command(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["run", "gemv", "--scheme", "barre", "--scale", "0.05",
+                 "--baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "speedup vs baseline" in out
+
+
+def test_figure_command_area(capsys):
+    assert main(["figure", "area"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead_vs_l2" in out
+
+
+def test_run_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["run", "nosuchapp"])
+
+
+def test_all_figures_registered():
+    # 18 paper figures (fig27 split a/b) + table1 + area + the on-demand
+    # extension + 3 ablations.
+    assert len(FIGURES) == 25
+    assert len(SCHEMES) == 7

@@ -1,0 +1,98 @@
+"""Table II configuration defaults and validation."""
+
+import pytest
+
+from repro.common import (
+    BackendKind,
+    ConfigError,
+    CuckooConfig,
+    IommuConfig,
+    LinkConfig,
+    MappingKind,
+    SimConfig,
+    TlbConfig,
+)
+
+
+class TestTableIIDefaults:
+    """The baseline config must reproduce the paper's Table II."""
+
+    def setup_method(self):
+        self.cfg = SimConfig.baseline()
+
+    def test_chiplets(self):
+        assert self.cfg.num_chiplets == 4
+
+    def test_l1_tlb(self):
+        assert self.cfg.l1_tlb.entries == 64
+        assert self.cfg.l1_tlb.ways == 64  # fully associative
+        assert self.cfg.l1_tlb.lookup_latency == 1
+        assert self.cfg.l1_tlb.mshrs == 16
+
+    def test_l2_tlb(self):
+        assert self.cfg.l2_tlb.entries == 512
+        assert self.cfg.l2_tlb.ways == 16
+        assert self.cfg.l2_tlb.lookup_latency == 10
+        assert self.cfg.l2_tlb.mshrs == 16
+
+    def test_iommu(self):
+        assert self.cfg.iommu.num_ptws == 16
+        assert self.cfg.iommu.walk_latency == 500
+        assert self.cfg.iommu.pw_queue_entries == 48
+        assert self.cfg.iommu.tlb_entries == 0  # no IOMMU TLB by default
+
+    def test_links(self):
+        assert self.cfg.pcie.latency == 150
+        assert self.cfg.mesh.latency == 32
+
+    def test_cuckoo_filter(self):
+        assert self.cfg.cuckoo.rows == 256
+        assert self.cfg.cuckoo.ways == 4
+        assert self.cfg.cuckoo.fingerprint_bits == 9
+        assert self.cfg.cuckoo.capacity == 1024
+
+    def test_pec_and_merging(self):
+        assert self.cfg.pec_buffer_entries == 5
+        assert self.cfg.merged_coal_groups == 2
+
+    def test_policy_and_backend(self):
+        assert self.cfg.mapping is MappingKind.LASP
+        assert self.cfg.backend is BackendKind.BASELINE
+
+    def test_memory_map_bases_are_disjoint(self):
+        mm = self.cfg.memory_map
+        bases = mm.chiplet_bases
+        assert len(bases) == 4
+        assert all(b2 - b1 == mm.frames_per_chiplet
+                   for b1, b2 in zip(bases, bases[1:]))
+
+
+class TestValidation:
+    def test_tlb_geometry_must_divide(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(entries=100, ways=16, lookup_latency=1, mshrs=4)
+
+    def test_cuckoo_rows_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CuckooConfig(rows=100)
+
+    def test_iommu_needs_walkers(self):
+        with pytest.raises(ConfigError):
+            IommuConfig(num_ptws=0)
+
+    def test_link_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(latency=-1)
+
+    def test_sim_rejects_bad_page_size(self):
+        with pytest.raises(ConfigError):
+            SimConfig(page_size=12345)
+
+    def test_sim_rejects_zero_merge(self):
+        with pytest.raises(ConfigError):
+            SimConfig(merged_coal_groups=0)
+
+    def test_replace_builds_variants(self):
+        cfg = SimConfig.baseline().replace(num_chiplets=8)
+        assert cfg.num_chiplets == 8
+        assert cfg.l2_tlb.entries == 512  # untouched fields preserved

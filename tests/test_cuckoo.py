@@ -1,0 +1,116 @@
+"""Unit + property tests for the cuckoo filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import CuckooConfig
+from repro.filters import CuckooFilter
+
+
+def small_filter() -> CuckooFilter:
+    return CuckooFilter(CuckooConfig(rows=64, ways=4, fingerprint_bits=12))
+
+
+def test_insert_then_contains():
+    f = small_filter()
+    assert f.insert(0xA1)
+    assert f.contains(0xA1)
+    assert len(f) == 1
+
+
+def test_delete_removes_item():
+    f = small_filter()
+    f.insert(42)
+    assert f.delete(42)
+    assert not f.contains(42)
+    assert len(f) == 0
+
+
+def test_delete_missing_returns_false():
+    f = small_filter()
+    assert not f.delete(42)
+
+
+def test_no_false_negatives_under_load():
+    """A cuckoo filter never false-negatives for resident items."""
+    f = CuckooFilter(CuckooConfig(rows=256, ways=4, fingerprint_bits=9))
+    inserted = []
+    rng = np.random.default_rng(7)
+    for item in rng.integers(0, 1 << 40, size=700):
+        if f.insert(int(item)):
+            inserted.append(int(item))
+    assert len(inserted) > 600  # should fit well below capacity
+    for item in inserted:
+        assert f.contains(item)
+
+
+def test_false_positive_rate_near_theory():
+    config = CuckooConfig(rows=256, ways=4, fingerprint_bits=9)
+    f = CuckooFilter(config)
+    rng = np.random.default_rng(11)
+    members = [int(v) for v in rng.integers(0, 1 << 39, size=900)]
+    for item in members:
+        f.insert(item)
+    member_set = set(members)
+    probes = [int(v) for v in rng.integers(1 << 39, 1 << 40, size=20000)
+              if int(v) not in member_set]
+    fp = sum(f.contains(p) for p in probes) / len(probes)
+    # Paper: 1.53% theoretical; allow generous slack for load effects.
+    assert fp < 4 * f.theoretical_false_positive_rate() + 0.01
+
+
+def test_insert_fails_gracefully_when_full():
+    f = CuckooFilter(CuckooConfig(rows=2, ways=1, fingerprint_bits=4, max_kicks=8))
+    results = [f.insert(i) for i in range(50)]
+    assert not all(results)  # eventually full
+    assert len(f) <= f.config.capacity
+
+
+def test_clear_empties_filter():
+    f = small_filter()
+    for i in range(20):
+        f.insert(i)
+    f.clear()
+    assert len(f) == 0
+    assert not any(f.contains(i) for i in range(20))
+
+
+def test_size_bits_matches_geometry():
+    f = CuckooFilter(CuckooConfig(rows=256, ways=4, fingerprint_bits=9))
+    assert f.size_bits() == 1024 * 9
+
+
+def test_duplicate_inserts_are_counted_separately():
+    """Cuckoo filters store one fingerprint per insert (supports multisets)."""
+    f = small_filter()
+    f.insert(5)
+    f.insert(5)
+    assert f.delete(5)
+    assert f.contains(5)  # second copy still present
+    assert f.delete(5)
+    assert not f.contains(5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 40) - 1),
+                min_size=1, max_size=200, unique=True))
+def test_property_insert_delete_roundtrip(items):
+    """Inserting then deleting all items leaves an empty filter."""
+    f = CuckooFilter(CuckooConfig(rows=512, ways=4, fingerprint_bits=12))
+    accepted = [i for i in items if f.insert(i)]
+    for item in accepted:
+        assert f.contains(item)
+    for item in accepted:
+        assert f.delete(item)
+    assert len(f) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 40) - 1))
+def test_property_absent_after_single_delete(item):
+    f = small_filter()
+    f.insert(item)
+    f.delete(item)
+    assert not f.contains(item)

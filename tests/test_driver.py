@@ -1,0 +1,296 @@
+"""GPU driver tests: Barre's mapping enforcement end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import AllocationError, ConfigError, MappingKind, MemoryMap
+from repro.mapping import (
+    AllocationRequest,
+    FrameAllocatorGroup,
+    GpuDriver,
+    calculate_pending_pfn,
+    make_policy,
+)
+from repro.memsim import AddressSpaceRegistry
+
+
+def make_driver(num_chiplets=4, frames=256, barre=True, merge=1,
+                mapping=MappingKind.LASP):
+    mm = MemoryMap(num_chiplets=num_chiplets, frames_per_chiplet=frames)
+    allocators = FrameAllocatorGroup(num_chiplets, frames)
+    spaces = AddressSpaceRegistry()
+    driver = GpuDriver(mm, allocators, spaces,
+                       make_policy(mapping, num_chiplets),
+                       barre_enabled=barre, merge_max=merge)
+    return driver, allocators, spaces, mm
+
+
+def test_barre_maps_groups_to_common_local_pfns():
+    """Example 1: group members share the local PFN across chiplets."""
+    driver, _alloc, spaces, mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=12, row_pages=3))
+    table = spaces.get(0)
+    desc = rec.descriptor
+    assert desc is not None
+    for vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        group = desc.group_vpns(vpn)
+        locals_ = []
+        for member in group:
+            fields = table.walk(member)
+            chiplet = desc.chiplet_of(member)
+            locals_.append(fields.global_pfn - mm.base_of(chiplet))
+        assert len(set(locals_)) == 1  # same local PFN across the group
+    assert rec.coalesced_pages == 12
+    assert rec.fallback_pages == 0
+
+
+def test_barre_ptes_carry_group_metadata():
+    driver, _alloc, spaces, _mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=12, row_pages=3))
+    table = spaces.get(0)
+    fields = table.walk(rec.start_vpn + 3)  # 0th VPN of chiplet 1's chunk
+    assert fields.coal_bitmap == 0b1111
+    assert fields.inter_gpu_coal_order == 1
+    assert fields.is_coalesced
+
+
+def test_calculated_pfns_match_walked_pfns():
+    """PEC arithmetic agrees with the page table for every member pair."""
+    driver, _alloc, spaces, mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=24, row_pages=2))
+    table = spaces.get(0)
+    desc = rec.descriptor
+    for pte_vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        fields = table.walk(pte_vpn)
+        for pending in desc.group_vpns(pte_vpn):
+            calc = calculate_pending_pfn(desc, pte_vpn, fields, pending,
+                                         mm.chiplet_bases)
+            assert calc == table.walk(pending).global_pfn
+
+
+def test_partial_tail_group_has_partial_bitmap():
+    driver, _alloc, spaces, _mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=3, row_pages=1))
+    table = spaces.get(0)
+    fields = table.walk(rec.start_vpn)
+    assert fields.coal_bitmap == 0b0111  # only 3 of 4 chiplets participate
+    assert rec.coalesced_pages == 3
+
+
+def test_single_page_data_is_not_coalesced():
+    driver, _alloc, spaces, _mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=1))
+    fields = spaces.get(0).walk(rec.start_vpn)
+    assert fields.coal_bitmap == 0
+    assert rec.coalesced_pages == 0
+    assert rec.fallback_pages == 1
+
+
+def test_fallback_when_no_common_frames():
+    """When chiplets have disjoint free frames, mapping still succeeds."""
+    driver, alloc, spaces, _mm = make_driver(num_chiplets=2, frames=8)
+    # Make free sets disjoint: chiplet 0 keeps evens, chiplet 1 keeps odds.
+    for pfn in range(8):
+        if pfn % 2:
+            alloc[0].allocate(pfn)
+        else:
+            alloc[1].allocate(pfn)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=4, row_pages=2))
+    assert rec.coalesced_pages == 0
+    assert rec.fallback_pages == 4
+    table = spaces.get(0)
+    for vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        assert table.walk(vpn).coal_bitmap == 0
+
+
+def test_merged_groups_use_consecutive_pfns():
+    driver, _alloc, spaces, mm = make_driver(merge=2)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=8, row_pages=2))
+    table = spaces.get(0)
+    fields0 = table.walk(rec.start_vpn)      # intra 0
+    fields1 = table.walk(rec.start_vpn + 1)  # intra 1
+    assert fields0.merged_groups == 2
+    assert fields1.merged_groups == 2
+    assert fields1.global_pfn == fields0.global_pfn + 1
+    assert fields1.intra_gpu_coal_order == 1
+
+
+def test_merged_pfn_calculation_matches_page_table():
+    driver, _alloc, spaces, mm = make_driver(merge=2)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=16, row_pages=4))
+    table = spaces.get(0)
+    desc = rec.descriptor
+    from repro.mapping import merged_group_vpns
+    for pte_vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        fields = table.walk(pte_vpn)
+        for pending in merged_group_vpns(desc, pte_vpn, fields):
+            calc = calculate_pending_pfn(desc, pte_vpn, fields, pending,
+                                         mm.chiplet_bases)
+            assert calc == table.walk(pending).global_pfn
+
+
+def test_merging_respects_fragmentation():
+    """No consecutive common runs -> falls back to single groups."""
+    driver, alloc, spaces, _mm = make_driver(num_chiplets=2, frames=32, merge=2)
+    for pfn in range(0, 32, 2):
+        alloc[0].allocate(pfn)  # chiplet 0 free frames are all odd: no runs
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=8, row_pages=4))
+    table = spaces.get(0)
+    assert rec.coalesced_pages == 8  # still coalesced, just not merged
+    for vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        assert table.walk(vpn).merged_groups == 1
+
+
+def test_pec_buffer_filled_on_malloc():
+    driver, _alloc, _spaces, _mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=12, row_pages=3))
+    desc = driver.pec_buffer.lookup(0, rec.start_vpn + 5)
+    assert desc is not None and desc.data_id == 1
+
+
+def test_non_barre_driver_writes_plain_ptes():
+    driver, _alloc, spaces, _mm = make_driver(barre=False)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=12, row_pages=3))
+    assert rec.descriptor is None
+    table = spaces.get(0)
+    for vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        assert table.walk(vpn).coal_bitmap == 0
+
+
+def test_free_releases_frames_and_mappings():
+    driver, alloc, spaces, _mm = make_driver(num_chiplets=2, frames=16)
+    before = [alloc[c].free_count for c in range(2)]
+    driver.malloc(AllocationRequest(data_id=1, pages=8, row_pages=4))
+    driver.free(pasid=0, data_id=1)
+    assert [alloc[c].free_count for c in range(2)] == before
+    assert len(spaces.get(0)) == 0
+
+
+def test_chiplet_of_tracks_ownership():
+    driver, _alloc, _spaces, _mm = make_driver()
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=12, row_pages=3))
+    assert driver.chiplet_of(0, rec.start_vpn) == 0
+    assert driver.chiplet_of(0, rec.start_vpn + 11) == 3
+    with pytest.raises(AllocationError):
+        driver.chiplet_of(0, 999999)
+
+
+def test_duplicate_malloc_rejected():
+    driver, _alloc, _spaces, _mm = make_driver()
+    driver.malloc(AllocationRequest(data_id=1, pages=4))
+    with pytest.raises(AllocationError):
+        driver.malloc(AllocationRequest(data_id=1, pages=4))
+
+
+def test_merge_beyond_pte_capacity_rejected():
+    with pytest.raises(ConfigError):
+        make_driver(merge=5)
+
+
+def test_extended_layout_limits_chiplets():
+    with pytest.raises(ConfigError):
+        make_driver(num_chiplets=8, merge=2)
+
+
+class TestMigration:
+    def test_migrated_page_leaves_group(self):
+        driver, _alloc, spaces, mm = make_driver()
+        rec = driver.malloc(AllocationRequest(data_id=1, pages=4, row_pages=1))
+        table = spaces.get(0)
+        affected = driver.migrate_page(0, rec.start_vpn, dest=2)
+        assert set(affected) == set(range(rec.start_vpn, rec.start_vpn + 4))
+        moved = table.walk(rec.start_vpn)
+        assert moved.coal_bitmap == 0
+        assert mm.base_of(2) <= moved.global_pfn < mm.base_of(3)
+        # Siblings dropped the migrated chiplet from their bitmaps.
+        for vpn in range(rec.start_vpn + 1, rec.start_vpn + 4):
+            assert table.walk(vpn).coal_bitmap == 0b1110
+
+    def test_migrate_to_same_chiplet_is_noop(self):
+        driver, _alloc, _spaces, _mm = make_driver()
+        rec = driver.malloc(AllocationRequest(data_id=1, pages=4, row_pages=1))
+        assert driver.migrate_page(0, rec.start_vpn, dest=0) == []
+
+    def test_double_migration_does_not_recoalesce(self):
+        """A second member migrating must not restore the first one's bits."""
+        driver, _alloc, spaces, mm = make_driver()
+        rec = driver.malloc(AllocationRequest(data_id=1, pages=4, row_pages=1))
+        table = spaces.get(0)
+        driver.migrate_page(0, rec.start_vpn, dest=2)      # member 0 leaves
+        driver.migrate_page(0, rec.start_vpn + 1, dest=3)  # member 1 leaves
+        first = table.walk(rec.start_vpn)
+        assert first.coal_bitmap == 0  # must NOT be re-coalesced
+        for vpn in (rec.start_vpn + 2, rec.start_vpn + 3):
+            assert table.walk(vpn).coal_bitmap == 0b1100
+
+    def test_calculation_rejects_migrated_member(self):
+        driver, _alloc, spaces, mm = make_driver()
+        rec = driver.malloc(AllocationRequest(data_id=1, pages=4, row_pages=1))
+        table = spaces.get(0)
+        driver.migrate_page(0, rec.start_vpn + 3, dest=0)
+        sibling_vpn = rec.start_vpn
+        fields = table.walk(sibling_vpn)
+        # Calculating the migrated page from a sibling must now fail.
+        assert calculate_pending_pfn(rec.descriptor, sibling_vpn, fields,
+                                     rec.start_vpn + 3,
+                                     mm.chiplet_bases) is None
+        # Other members still calculate fine.
+        assert calculate_pending_pfn(rec.descriptor, sibling_vpn, fields,
+                                     rec.start_vpn + 1, mm.chiplet_bases) \
+            == table.walk(rec.start_vpn + 1).global_pfn
+
+    def test_migration_releases_and_claims_frames(self):
+        driver, alloc, _spaces, _mm = make_driver(num_chiplets=2, frames=32)
+        rec = driver.malloc(AllocationRequest(data_id=1, pages=2, row_pages=1))
+        free_before = [alloc[c].free_count for c in range(2)]
+        driver.migrate_page(0, rec.start_vpn, dest=1)
+        assert alloc[0].free_count == free_before[0] + 1
+        assert alloc[1].free_count == free_before[1] - 1
+
+
+def test_compact_bitmap_for_16_chiplets():
+    driver, _alloc, spaces, mm = make_driver(num_chiplets=16, frames=64)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=16, row_pages=1))
+    table = spaces.get(0)
+    fields = table.walk(rec.start_vpn)
+    assert driver.compact_bitmap
+    assert fields.coal_bitmap == 16  # sharer count, not a mask
+    desc = rec.descriptor
+    calc = calculate_pending_pfn(desc, rec.start_vpn, fields,
+                                 rec.start_vpn + 15, mm.chiplet_bases,
+                                 compact=True)
+    assert calc == table.walk(rec.start_vpn + 15).global_pfn
+
+
+@settings(max_examples=40, deadline=None)
+@given(pages=st.integers(min_value=1, max_value=64),
+       row_pages=st.integers(min_value=0, max_value=9),
+       merge=st.sampled_from([1, 2, 4]),
+       chiplets=st.sampled_from([2, 4]))
+def test_property_driver_mapping_is_complete_and_consistent(
+        pages, row_pages, merge, chiplets):
+    """Every allocation maps every page exactly once, to its plan's chiplet,
+    and PEC calculation never contradicts the page table."""
+    driver, _alloc, spaces, mm = make_driver(
+        num_chiplets=chiplets, frames=4096, merge=merge)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=pages,
+                                          row_pages=row_pages))
+    table = spaces.get(0)
+    assert len(table) == pages
+    from repro.mapping import merged_group_vpns
+    desc = rec.descriptor
+    seen_frames = set()
+    for vpn in range(rec.start_vpn, rec.end_vpn + 1):
+        fields = table.walk(vpn)
+        key = fields.global_pfn
+        assert key not in seen_frames or fields.coal_bitmap  # frames unique
+        seen_frames.add(key)
+        expected_chiplet = rec.plan.chiplet_of_offset(vpn - rec.start_vpn)
+        assert rec.chiplet_by_vpn[vpn] == expected_chiplet
+        if fields.is_coalesced:
+            for pending in merged_group_vpns(desc, vpn, fields):
+                calc = calculate_pending_pfn(desc, vpn, fields, pending,
+                                             mm.chiplet_bases)
+                assert calc == table.walk(pending).global_pfn

@@ -1,0 +1,82 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common import EventQueue, SimulationError
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    order = []
+    q.schedule(10, lambda: order.append("b"))
+    q.schedule(5, lambda: order.append("a"))
+    q.schedule(20, lambda: order.append("c"))
+    q.run()
+    assert order == ["a", "b", "c"]
+    assert q.now == 20
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    q = EventQueue()
+    order = []
+    for tag in range(5):
+        q.schedule(7, lambda t=tag: order.append(t))
+    q.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_nested_scheduling_advances_time():
+    q = EventQueue()
+    seen = []
+
+    def first():
+        seen.append(q.now)
+        q.schedule(3, lambda: seen.append(q.now))
+
+    q.schedule(2, first)
+    q.run()
+    assert seen == [2, 5]
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    q = EventQueue()
+    fired = []
+    q.schedule(5, lambda: fired.append(5))
+    q.schedule(50, lambda: fired.append(50))
+    q.run(until=10)
+    assert fired == [5]
+    assert q.now == 10
+    assert q.pending == 1
+
+
+def test_max_events_guard_detects_loops():
+    q = EventQueue()
+
+    def respawn():
+        q.schedule(1, respawn)
+
+    q.schedule(0, respawn)
+    with pytest.raises(SimulationError):
+        q.run(max_events=100)
+
+
+def test_schedule_at_absolute_time():
+    q = EventQueue()
+    fired = []
+    q.schedule(4, lambda: q.schedule_at(9, lambda: fired.append(q.now)))
+    q.run()
+    assert fired == [9]
+
+
+def test_step_returns_false_when_empty():
+    q = EventQueue()
+    assert q.step() is False
+    q.schedule(1, lambda: None)
+    assert q.step() is True
+    assert q.events_fired == 1

@@ -1,0 +1,32 @@
+"""Structural tests of the figure registry (no simulations)."""
+
+from repro.experiments.figures import MULTIAPP_PAIRS, SUBSET6, overhead_area
+from repro.workloads import APP_ORDER, CATEGORY_OF
+
+
+def test_subset6_is_balanced_across_classes():
+    assert len(SUBSET6) == 6
+    counts = {"low": 0, "mid": 0, "high": 0}
+    for app in SUBSET6:
+        assert app in APP_ORDER
+        counts[CATEGORY_OF[app]] += 1
+    assert counts == {"low": 2, "mid": 2, "high": 2}
+
+
+def test_multiapp_pairs_match_their_labels():
+    for label, (a, b) in MULTIAPP_PAIRS.items():
+        want = [part.lower() for part in label.split("-")]
+        got = sorted([CATEGORY_OF[a], CATEGORY_OF[b]])
+        assert sorted(want) == got, (label, a, b)
+
+
+def test_multiapp_pairs_cover_all_combinations():
+    assert set(MULTIAPP_PAIRS) == {"Low-Low", "Low-Mid", "Low-High",
+                                   "Mid-Mid", "Mid-High", "High-High"}
+
+
+def test_overhead_area_reproduces_paper_constants():
+    out = overhead_area()
+    assert abs(out["filters_plus_pec_kib"] - 4.57) < 0.05
+    assert abs(out["overhead_vs_l2"] - 0.0421) < 0.003
+    assert out["pec_buffer_bits"] == 590

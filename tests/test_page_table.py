@@ -1,0 +1,98 @@
+"""Radix page table tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import TranslationError
+from repro.memsim import AddressSpaceRegistry, PageTable, PteFields, level_index
+
+
+def make_fields(pfn: int) -> PteFields:
+    return PteFields(present=True, global_pfn=pfn)
+
+
+def test_map_then_walk():
+    pt = PageTable()
+    pt.map(0x1234, make_fields(0x75))
+    assert pt.walk(0x1234).global_pfn == 0x75
+    assert pt.is_mapped(0x1234)
+    assert len(pt) == 1
+
+
+def test_walk_unmapped_raises():
+    pt = PageTable()
+    with pytest.raises(TranslationError):
+        pt.walk(0x1)
+
+
+def test_unmap_removes_mapping():
+    pt = PageTable()
+    pt.map(7, make_fields(1))
+    pt.unmap(7)
+    assert not pt.is_mapped(7)
+    assert len(pt) == 0
+    with pytest.raises(TranslationError):
+        pt.unmap(7)
+
+
+def test_remap_overwrites_without_growing():
+    pt = PageTable()
+    pt.map(7, make_fields(1))
+    pt.map(7, make_fields(2))
+    assert len(pt) == 1
+    assert pt.walk(7).global_pfn == 2
+
+
+def test_level_index_covers_vpn():
+    vpn = 0b1111111111_0000000001_1010101010_0101010101
+    parts = [level_index(vpn, lvl) for lvl in range(4)]
+    rebuilt = 0
+    for p in parts:
+        rebuilt = (rebuilt << 10) | p
+    assert rebuilt == vpn
+
+
+def test_mappings_iterates_in_vpn_order():
+    pt = PageTable()
+    for vpn in [900, 3, 5000, 42]:
+        pt.map(vpn, make_fields(vpn + 1))
+    assert [v for v, _f in pt.mappings()] == [3, 42, 900, 5000]
+
+
+def test_layout_mismatch_rejected():
+    pt = PageTable(extended_ptes=True)
+    with pytest.raises(TranslationError):
+        pt.map(1, PteFields(present=True, global_pfn=0, extended=False))
+
+
+def test_registry_pasid_isolation():
+    reg = AddressSpaceRegistry()
+    a = reg.create(1)
+    b = reg.create(2)
+    a.map(5, make_fields(100))
+    b.map(5, make_fields(200))
+    assert reg.get(1).walk(5).global_pfn == 100
+    assert reg.get(2).walk(5).global_pfn == 200
+
+
+def test_registry_rejects_duplicates_and_unknown():
+    reg = AddressSpaceRegistry()
+    reg.create(1)
+    with pytest.raises(TranslationError):
+        reg.create(1)
+    with pytest.raises(TranslationError):
+        reg.get(9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=(1 << 40) - 1),
+                       st.integers(min_value=0, max_value=(1 << 40) - 1),
+                       min_size=1, max_size=50))
+def test_property_walk_returns_what_was_mapped(mapping):
+    pt = PageTable()
+    for vpn, pfn in mapping.items():
+        pt.map(vpn, make_fields(pfn))
+    for vpn, pfn in mapping.items():
+        assert pt.walk(vpn).global_pfn == pfn
+    assert len(pt) == len(mapping)

@@ -1,0 +1,114 @@
+"""PEC logic tests: candidates, calculation wrapper, field synthesis."""
+
+import pytest
+
+from repro.common import MappingKind, MemoryMap
+from repro.iommu import PecLogic
+from repro.mapping import (
+    AllocationRequest,
+    FrameAllocatorGroup,
+    GpuDriver,
+    PecBuffer,
+    make_policy,
+)
+from repro.memsim import AddressSpaceRegistry
+
+
+def make_setup(merge=1, pages=12, row_pages=3):
+    mm = MemoryMap(num_chiplets=4, frames_per_chiplet=4096)
+    allocators = FrameAllocatorGroup(4, 4096)
+    spaces = AddressSpaceRegistry()
+    driver = GpuDriver(mm, allocators, spaces,
+                       make_policy(MappingKind.LASP, 4),
+                       barre_enabled=True, merge_max=merge)
+    rec = driver.malloc(AllocationRequest(data_id=1, pages=pages,
+                                          row_pages=row_pages))
+    pec = PecLogic(driver.pec_buffer, mm.chiplet_bases)
+    return driver, spaces, rec, pec
+
+
+def test_calculate_uses_descriptor_and_formula():
+    driver, spaces, rec, pec = make_setup()
+    table = spaces.get(0)
+    pte_vpn = rec.start_vpn
+    fields = table.walk(pte_vpn)
+    for sibling in rec.descriptor.group_vpns(pte_vpn):
+        assert pec.calculate(0, pte_vpn, fields, sibling) == \
+            table.walk(sibling).global_pfn
+    assert pec.stats.count("calculations") == 4
+
+
+def test_calculate_rejects_uncoalesced_fields():
+    driver, spaces, rec, pec = make_setup(pages=1)
+    table = spaces.get(0)
+    fields = table.walk(rec.start_vpn)
+    assert pec.calculate(0, rec.start_vpn, fields, rec.start_vpn + 1) is None
+
+
+def test_calculate_counts_descriptor_misses():
+    driver, spaces, rec, pec = make_setup()
+    fields = spaces.get(0).walk(rec.start_vpn)
+    empty = PecLogic(PecBuffer(5), (0, 4096, 8192, 12288))
+    assert empty.calculate(0, rec.start_vpn, fields,
+                           rec.start_vpn + 3) is None
+    assert empty.stats.count("descriptor_misses") == 1
+
+
+def test_sibling_vpns_cover_group():
+    driver, spaces, rec, pec = make_setup()
+    fields = spaces.get(0).walk(rec.start_vpn)
+    sibs = pec.sibling_vpns(0, rec.start_vpn, fields)
+    assert sibs == rec.descriptor.group_vpns(rec.start_vpn)
+
+
+def test_candidate_vpns_standard():
+    driver, spaces, rec, pec = make_setup()
+    # Candidates for a VPN are its whole group (inter positions x 1 intra).
+    candidates = pec.candidate_vpns(0, rec.start_vpn + 4, max_merge=1)
+    assert set(rec.descriptor.group_vpns(rec.start_vpn + 4)) <= set(candidates)
+
+
+def test_candidate_vpns_with_merge_window():
+    driver, spaces, rec, pec = make_setup(merge=2, pages=16, row_pages=4)
+    vpn = rec.start_vpn + 1  # intra 1
+    narrow = set(pec.candidate_vpns(0, vpn, max_merge=1))
+    wide = set(pec.candidate_vpns(0, vpn, max_merge=2))
+    assert narrow < wide  # merge window adds intra neighbours
+
+
+def test_candidate_vpns_without_descriptor_is_empty():
+    pec = PecLogic(PecBuffer(5), (0, 1, 2, 3))
+    assert pec.candidate_vpns(0, 1234) == []
+
+
+def test_synthesize_fields_matches_real_ptes():
+    driver, spaces, rec, pec = make_setup()
+    table = spaces.get(0)
+    pte_vpn = rec.start_vpn + 3
+    fields = table.walk(pte_vpn)
+    for pending in rec.descriptor.group_vpns(pte_vpn):
+        synthesized = pec.synthesize_fields(0, pending, pte_vpn, fields)
+        actual = table.walk(pending)
+        assert synthesized.global_pfn == actual.global_pfn
+        assert synthesized.coal_bitmap == actual.coal_bitmap
+        assert synthesized.inter_gpu_coal_order == actual.inter_gpu_coal_order
+
+
+def test_synthesize_fields_merged_layout():
+    driver, spaces, rec, pec = make_setup(merge=2, pages=16, row_pages=4)
+    table = spaces.get(0)
+    pte_vpn = rec.start_vpn  # intra 0, merged pair
+    fields = table.walk(pte_vpn)
+    assert fields.merged_groups == 2
+    pending = rec.start_vpn + 1
+    synthesized = pec.synthesize_fields(0, pending, pte_vpn, fields)
+    actual = table.walk(pending)
+    assert synthesized == actual
+
+
+def test_synthesize_fields_rejects_non_members():
+    driver, spaces, rec, pec = make_setup()
+    fields = spaces.get(0).walk(rec.start_vpn)
+    assert pec.synthesize_fields(0, rec.start_vpn + 1, rec.start_vpn,
+                                 fields) is None
+    assert pec.synthesize_fields(0, 999_999, rec.start_vpn, fields) is None

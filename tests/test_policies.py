@@ -1,0 +1,94 @@
+"""Mapping policy tests (LASP, CODA, round-robin, chunking)."""
+
+import pytest
+
+from repro.common import ConfigError, MappingKind
+from repro.mapping import (
+    AllocationRequest,
+    ChunkingPolicy,
+    CodaPolicy,
+    LaspPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+def req(pages, row_pages=0, irregular=False):
+    return AllocationRequest(data_id=1, pages=pages, row_pages=row_pages,
+                             irregular=irregular)
+
+
+class TestLasp:
+    def test_row_hint_sets_granularity(self):
+        plan = LaspPolicy(4).place(req(pages=24, row_pages=3))
+        assert plan.interlv_gran == 3
+
+    def test_no_hint_blocks_evenly(self):
+        plan = LaspPolicy(4).place(req(pages=12))
+        assert plan.interlv_gran == 3  # 12 pages / 4 chiplets
+
+    def test_hint_clamped_to_block(self):
+        # A row bigger than the even block would starve chiplets.
+        plan = LaspPolicy(4).place(req(pages=8, row_pages=100))
+        assert plan.interlv_gran == 2
+
+    def test_fig7a_data1_layout(self):
+        """Fig 7a: 12 pages, 3 consecutive VPNs per chiplet."""
+        plan = LaspPolicy(4).place(req(pages=12, row_pages=3))
+        owners = [plan.chiplet_of_offset(i) for i in range(12)]
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+
+class TestCoda:
+    def test_irregular_goes_round_robin(self):
+        plan = CodaPolicy(4).place(req(pages=8, irregular=True))
+        assert plan.interlv_gran == 1
+
+    def test_linear_goes_blocked(self):
+        plan = CodaPolicy(4).place(req(pages=8, row_pages=2))
+        assert plan.interlv_gran == 2
+
+
+class TestRoundRobinAndChunking:
+    def test_round_robin_gran_one(self):
+        plan = RoundRobinPolicy(4).place(req(pages=100, row_pages=10))
+        assert plan.interlv_gran == 1
+        assert [plan.chiplet_of_offset(i) for i in range(5)] == [0, 1, 2, 3, 0]
+
+    def test_chunking_ignores_hints(self):
+        plan = ChunkingPolicy(4).place(req(pages=100, row_pages=10))
+        assert plan.interlv_gran == 25
+
+
+class TestCtaColocation:
+    def test_ctas_follow_their_pages(self):
+        policy = LaspPolicy(4)
+        plan = policy.place(req(pages=12, row_pages=3))
+        # 8 CTAs over 12 pages: first two CTAs sit with pages 0-2 on chiplet 0.
+        owners = [policy.cta_chiplet(k, 8, plan, 12) for k in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_cta_out_of_range_rejected(self):
+        policy = LaspPolicy(2)
+        plan = policy.place(req(pages=4))
+        with pytest.raises(ConfigError):
+            policy.cta_chiplet(5, 4, plan, 4)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        (MappingKind.LASP, LaspPolicy),
+        (MappingKind.CODA, CodaPolicy),
+        (MappingKind.ROUND_ROBIN, RoundRobinPolicy),
+        (MappingKind.CHUNKING, ChunkingPolicy),
+    ])
+    def test_make_policy(self, kind, cls):
+        assert isinstance(make_policy(kind, 4), cls)
+
+    def test_policy_requires_chiplets(self):
+        with pytest.raises(ConfigError):
+            LaspPolicy(0)
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigError):
+            AllocationRequest(data_id=1, pages=0)

@@ -1,0 +1,84 @@
+"""Property-based end-to-end tests with randomized ad-hoc workloads.
+
+These go beyond the Table I suite: hypothesis generates arbitrary small
+workloads (footprints, patterns, timing) and the invariants must hold for
+*every* one of them — most importantly that Barre/F-Barre's calculated
+translations never disagree with the page table (enforced per access by
+``verify_translations``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import configs
+from repro.gpu import McmGpuSimulator
+from repro.workloads import DataSpec, Workload
+
+PATTERN_CHOICES = ["stream", "blocked", "stencil", "stride", "random",
+                   "gather"]
+
+
+@st.composite
+def small_workloads(draw) -> Workload:
+    pattern = draw(st.sampled_from(PATTERN_CHOICES))
+    main_pages = draw(st.integers(min_value=16, max_value=600))
+    row = draw(st.sampled_from([0, 4, 8, 16]))
+    data = [DataSpec("main", pages=main_pages, row_pages=row)]
+    if pattern == "gather":
+        data.append(DataSpec("vec", pages=draw(
+            st.integers(min_value=8, max_value=400)), shared=True,
+            irregular=True))
+    return Workload(
+        abbr="prop", app_name="property", suite="hypothesis",
+        category="mid", paper_mpki=1.0, data=tuple(data),
+        pattern=pattern,
+        weight=draw(st.floats(min_value=0.5, max_value=8.0)),
+        gap=draw(st.integers(min_value=0, max_value=16)),
+        num_ctas=draw(st.sampled_from([8, 16, 32])),
+        accesses_per_cta=draw(st.integers(min_value=10, max_value=60)),
+        params={"gather_data": 1, "touches_per_page": 2,
+                "stride_pages": draw(st.integers(min_value=1, max_value=9)),
+                "row_width": max(1, row // 2)},
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(workload=small_workloads(),
+       merge=st.sampled_from([1, 2]),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_property_fbarre_translates_any_workload_correctly(
+        workload, merge, seed):
+    """Random workloads: F-Barre drains with verified translations."""
+    cfg = configs.fbarre(merge=merge, seed=seed)
+    result = McmGpuSimulator(cfg, [workload], trace_scale=1.0,
+                             verify_translations=True).run()
+    assert result.cycles > 0
+    assert result.l2_misses <= result.l2_lookups
+
+
+@settings(max_examples=8, deadline=None)
+@given(workload=small_workloads(), seed=st.integers(min_value=0,
+                                                    max_value=2**16))
+def test_property_translation_schemes_access_identical_data(workload, seed):
+    """Whatever the workload, schemes differ in *how*, never *what*."""
+    def total_accesses(cfg):
+        sim = McmGpuSimulator(cfg, [workload], trace_scale=1.0)
+        sim.run()
+        return (sim.fabric.stats.count("local_accesses")
+                + sim.fabric.stats.count("remote_accesses"))
+
+    counts = {total_accesses(configs.baseline(seed=seed)),
+              total_accesses(configs.fbarre(seed=seed))}
+    assert len(counts) == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(workload=small_workloads(), seed=st.integers(min_value=0,
+                                                    max_value=2**16))
+def test_property_barre_never_increases_walks(workload, seed):
+    """PEC coalescing can only remove page-table walks, never add them."""
+    base = McmGpuSimulator(configs.baseline(seed=seed), [workload],
+                           trace_scale=1.0).run()
+    barre = McmGpuSimulator(configs.barre(seed=seed), [workload],
+                            trace_scale=1.0).run()
+    assert barre.walks <= base.walks

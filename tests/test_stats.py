@@ -1,0 +1,82 @@
+"""Statistics utilities tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Histogram, StatSet, geomean
+
+
+class TestStatSet:
+    def test_bump_and_count(self):
+        s = StatSet("x")
+        s.bump("hits")
+        s.bump("hits", 4)
+        assert s.count("hits") == 5
+        assert s.count("never") == 0
+
+    def test_observe_and_mean(self):
+        s = StatSet("x")
+        for v in (10, 20, 30):
+            s.observe("lat", v)
+        assert s.mean("lat") == 20
+        assert s.samples("lat") == 3
+        assert s.mean("none") == 0.0
+
+    def test_ratio(self):
+        s = StatSet("x")
+        s.bump("a", 3)
+        s.bump("b", 6)
+        assert s.ratio("a", "b") == 0.5
+        assert s.ratio("a", "zero") == 0.0
+
+    def test_as_dict(self):
+        s = StatSet("x")
+        s.bump("c")
+        s.observe("m", 2.0)
+        d = s.as_dict()
+        assert d["c"] == 1
+        assert d["m_mean"] == 2.0
+        assert d["m_samples"] == 1
+
+
+class TestHistogram:
+    def test_fractions(self):
+        h = Histogram()
+        for v in (1, 1, 2, 5):
+            h.add(v)
+        assert h.total() == 4
+        assert h.fraction_at(1) == 0.5
+        assert h.fraction_in([1, 2]) == 0.75
+        assert h.fraction_in([99]) == 0.0
+
+    def test_quantile(self):
+        h = Histogram()
+        for v in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            h.add(v)
+        assert h.quantile(0.5) == 5
+        assert h.quantile(1.0) == 10
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.total() == 0
+        assert h.fraction_at(1) == 0.0
+        assert h.quantile(0.5) == 0
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([3]) == pytest.approx(3.0)
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1,
+                    max_size=20))
+    def test_property_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

@@ -1,0 +1,38 @@
+"""Summary-report generator tests."""
+
+from repro.experiments.summary import REPORT_ORDER, build_summary, write_summary
+
+
+def test_build_summary_includes_existing_sections(tmp_path):
+    (tmp_path / "fig15.txt").write_text("fig15 body\n")
+    (tmp_path / "table1.txt").write_text("table1 body\n")
+    text = build_summary(tmp_path)
+    assert "fig15 body" in text
+    assert "table1 body" in text
+    assert "Fig 15" in text
+
+
+def test_build_summary_lists_missing(tmp_path):
+    text = build_summary(tmp_path)
+    assert "Not yet generated" in text
+    assert "fig15" in text
+
+
+def test_write_summary_creates_file(tmp_path):
+    (tmp_path / "fig01.txt").write_text("x\n")
+    path = write_summary(tmp_path)
+    assert path.exists()
+    assert "Fig 1" in path.read_text()
+
+
+def test_report_order_covers_all_bench_outputs():
+    names = {name for name, _title in REPORT_ORDER}
+    # Every bench writes one of these names (see benchmarks/).
+    expected = {"table1", "overhead_area", "ext_ondemand",
+                "ablation_pw_queue", "ablation_pec_buffer",
+                "ablation_stream_window"}
+    expected |= {f"fig{n:02d}" for n in
+                 (1, 2, 4, 5, 6, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24,
+                  25, 26)}
+    expected |= {"fig27a", "fig27b"}
+    assert names == expected

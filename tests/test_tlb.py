@@ -1,0 +1,123 @@
+"""TLB and MSHR tests."""
+
+from repro.common import TlbConfig
+from repro.memsim import MshrFile, Tlb, TlbEntry
+
+
+def make_tlb(entries=8, ways=2) -> Tlb:
+    return Tlb(TlbConfig(entries=entries, ways=ways, lookup_latency=1, mshrs=4))
+
+
+def entry(vpn: int, pasid: int = 0) -> TlbEntry:
+    return TlbEntry(pasid=pasid, vpn=vpn, global_pfn=vpn + 1000)
+
+
+def test_miss_then_hit():
+    tlb = make_tlb()
+    assert tlb.lookup(0, 5) is None
+    tlb.insert(entry(5))
+    hit = tlb.lookup(0, 5)
+    assert hit is not None and hit.global_pfn == 1005
+    assert tlb.stats.count("hits") == 1
+    assert tlb.stats.count("misses") == 1
+
+
+def test_lru_eviction_order():
+    tlb = make_tlb(entries=2, ways=2)  # one set, two ways
+    tlb.insert(entry(0))
+    tlb.insert(entry(1))
+    tlb.lookup(0, 0)           # refresh 0; victim should be 1
+    victim = tlb.insert(entry(2))
+    assert victim is not None and victim.vpn == 1
+    assert tlb.probe(0, 0) is not None
+    assert tlb.probe(0, 1) is None
+
+
+def test_set_indexing_partitions_vpns():
+    tlb = make_tlb(entries=8, ways=2)  # 4 sets
+    # These all map to set 0 and must contend; vpn 1 must not.
+    for vpn in (0, 4, 8):
+        tlb.insert(entry(vpn))
+    tlb.insert(entry(1))
+    assert tlb.occupancy() == 3  # set 0 holds 2, set 1 holds 1
+
+
+def test_probe_does_not_touch_lru_or_stats():
+    tlb = make_tlb(entries=2, ways=2)
+    tlb.insert(entry(0))
+    tlb.insert(entry(1))
+    tlb.probe(0, 0)  # NOT a use: 0 stays LRU
+    victim = tlb.insert(entry(2))
+    assert victim is not None and victim.vpn == 0
+    assert tlb.stats.count("hits") == 0
+
+
+def test_pasid_distinguishes_entries():
+    tlb = make_tlb()
+    tlb.insert(entry(5, pasid=1))
+    assert tlb.lookup(2, 5) is None
+    assert tlb.lookup(1, 5) is not None
+
+
+def test_insert_and_evict_hooks_fire():
+    tlb = make_tlb(entries=2, ways=2)
+    inserted, evicted = [], []
+    tlb.on_insert = lambda e: inserted.append(e.vpn)
+    tlb.on_evict = lambda e: evicted.append(e.vpn)
+    tlb.insert(entry(0))
+    tlb.insert(entry(1))
+    tlb.insert(entry(2))
+    assert inserted == [0, 1, 2]
+    assert evicted == [0]
+
+
+def test_invalidate_and_shootdown():
+    tlb = make_tlb()
+    for vpn in range(4):
+        tlb.insert(entry(vpn))
+    assert tlb.invalidate(0, 2) is not None
+    assert tlb.invalidate(0, 2) is None
+    assert tlb.shootdown() == 3
+    assert tlb.occupancy() == 0
+
+
+def test_reinsert_same_key_does_not_evict():
+    tlb = make_tlb(entries=2, ways=2)
+    tlb.insert(entry(0))
+    tlb.insert(entry(1))
+    victim = tlb.insert(entry(0))  # refresh, not a new allocation
+    assert victim is None
+    assert tlb.occupancy() == 2
+
+
+class TestMshr:
+    def test_primary_then_merge(self):
+        mshr = MshrFile(capacity=2)
+        got = []
+        assert mshr.allocate(5, got.append) == "primary"
+        assert mshr.allocate(5, got.append) == "merged"
+        assert mshr.outstanding() == 1
+        mshr.release(5, "pfn")
+        assert got == ["pfn", "pfn"]
+        assert mshr.outstanding() == 0
+
+    def test_full_reports_stall(self):
+        mshr = MshrFile(capacity=1)
+        assert mshr.allocate(1, lambda r: None) == "primary"
+        assert mshr.allocate(2, lambda r: None) == "full"
+        assert mshr.stats.count("stalls") == 1
+
+    def test_distinct_keys_use_distinct_slots(self):
+        mshr = MshrFile(capacity=4)
+        results = {}
+        mshr.allocate("a", lambda r: results.setdefault("a", r))
+        mshr.allocate("b", lambda r: results.setdefault("b", r))
+        mshr.release("b", 2)
+        mshr.release("a", 1)
+        assert results == {"a": 1, "b": 2}
+
+    def test_is_pending(self):
+        mshr = MshrFile(capacity=1)
+        assert not mshr.is_pending(7)
+        mshr.allocate(7, lambda r: None)
+        assert mshr.is_pending(7)

@@ -1,0 +1,50 @@
+"""Trace export/import round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError
+from repro.workloads import get_workload
+from repro.workloads.io import load_ctas, save_ctas
+
+
+def test_round_trip_preserves_traces(tmp_path):
+    w = get_workload("st2d")
+    ctas = w.build_ctas(np.random.default_rng(5), scale=0.1)
+    path = tmp_path / "st2d.npz"
+    save_ctas(path, w, ctas)
+    loaded = load_ctas(path, expected_abbr="st2d")
+    assert len(loaded) == len(ctas)
+    for a, b in zip(ctas, loaded):
+        assert a.cta_id == b.cta_id and a.pasid == b.pasid
+        assert (a.data_index == b.data_index).all()
+        assert (a.page_offset == b.page_offset).all()
+
+
+def test_abbr_mismatch_rejected(tmp_path):
+    w = get_workload("gemv")
+    ctas = w.build_ctas(np.random.default_rng(1), scale=0.05)
+    path = tmp_path / "t.npz"
+    save_ctas(path, w, ctas)
+    with pytest.raises(ConfigError):
+        load_ctas(path, expected_abbr="spmv")
+
+
+def test_empty_trace_rejected(tmp_path):
+    with pytest.raises(ConfigError):
+        save_ctas(tmp_path / "x.npz", get_workload("gemv"), [])
+
+
+def test_variable_length_ctas_survive(tmp_path):
+    w = get_workload("pr")
+    ctas = w.build_ctas(np.random.default_rng(2), scale=0.05)
+    # Truncate one CTA to force unequal lengths.
+    import dataclasses
+    ctas[3] = dataclasses.replace(ctas[3],
+                                  data_index=ctas[3].data_index[:5],
+                                  page_offset=ctas[3].page_offset[:5])
+    path = tmp_path / "pr.npz"
+    save_ctas(path, w, ctas)
+    loaded = load_ctas(path)
+    assert len(loaded[3]) == 5
+    assert (loaded[4].page_offset == ctas[4].page_offset).all()

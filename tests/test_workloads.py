@@ -1,0 +1,146 @@
+"""Workload generator tests: suite integrity, patterns, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigError
+from repro.workloads import (
+    APP_ORDER,
+    CATEGORY_OF,
+    DataSpec,
+    Workload,
+    apps_by_category,
+    get_workload,
+    make_suite,
+)
+
+
+class TestSuiteIntegrity:
+    def test_all_19_table1_apps_present(self):
+        suite = make_suite()
+        assert len(suite) == 19
+        assert set(suite) == set(APP_ORDER)
+
+    def test_category_counts_match_table1(self):
+        assert len(apps_by_category("low")) == 5
+        assert len(apps_by_category("mid")) == 9
+        assert len(apps_by_category("high")) == 5
+
+    def test_paper_mpki_increases_with_category(self):
+        suite = make_suite()
+        low = max(suite[a].paper_mpki for a in apps_by_category("low"))
+        mid_min = min(suite[a].paper_mpki for a in apps_by_category("mid"))
+        mid_max = max(suite[a].paper_mpki for a in apps_by_category("mid"))
+        high = min(suite[a].paper_mpki for a in apps_by_category("high"))
+        assert low < mid_min and mid_max < high * 4  # matr overlaps st2d
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigError):
+            get_workload("nosuchapp")
+
+    def test_pec_buffer_fits_all_data(self):
+        """Table I apps use at most five large data (Section IV-E)."""
+        for workload in make_suite().values():
+            assert len(workload.data) <= 5
+
+
+class TestTraceGeneration:
+    def rng(self):
+        return np.random.default_rng(3)
+
+    def test_offsets_stay_in_bounds(self):
+        for workload in make_suite().values():
+            for cta in workload.build_ctas(self.rng(), scale=0.05):
+                for data_idx, offset in zip(cta.data_index, cta.page_offset):
+                    assert 0 <= offset < workload.data[data_idx].pages, \
+                        workload.abbr
+
+    def test_scale_controls_length(self):
+        w = get_workload("fft")
+        short = w.build_ctas(self.rng(), scale=0.1)
+        long = w.build_ctas(self.rng(), scale=0.5)
+        assert len(long[0]) > len(short[0])
+        assert len(short) == len(long) == w.num_ctas
+
+    def test_stream_pattern_sweeps_slice(self):
+        w = get_workload("gemv")
+        ctas = w.build_ctas(self.rng(), scale=0.3)
+        first = ctas[0]
+        main_offsets = first.page_offset[first.data_index == 0]
+        lo, hi = w._cta_slice(0, w.main.pages)
+        assert main_offsets.min() >= lo
+        assert main_offsets.max() < hi
+
+    def test_gather_pattern_targets_second_data(self):
+        w = get_workload("spmv")
+        ctas = w.build_ctas(self.rng(), scale=0.3)
+        gathered = sum(int((c.data_index == 1).sum()) for c in ctas)
+        total = sum(len(c) for c in ctas)
+        assert 0.5 < gathered / total < 0.9  # gather_fraction 0.7
+
+    def test_zipf_gathers_are_skewed(self):
+        w = get_workload("pr")
+        ctas = w.build_ctas(self.rng(), scale=1.0)
+        ranks = np.concatenate([
+            c.page_offset[c.data_index == 1] for c in ctas])
+        # The hottest page draws far more than the uniform share.
+        _values, counts = np.unique(ranks, return_counts=True)
+        assert counts.max() > 20 * counts.mean()
+
+    def test_stride_pattern_has_constant_stride(self):
+        w = get_workload("fwt")
+        cta = w.build_ctas(self.rng(), scale=0.3)[0]
+        diffs = np.diff(cta.page_offset)
+        stride = w.params["stride_pages"]
+        # modulo wraps aside, consecutive accesses jump by the stride.
+        assert (np.abs(diffs) % stride == 0).mean() > 0.95
+
+    def test_stencil_touches_neighbouring_rows(self):
+        w = get_workload("st2d")
+        cta = w.build_ctas(self.rng(), scale=0.3)[8]
+        offs = cta.page_offset
+        width = w.params["row_width"]
+        gaps = np.abs(np.diff(offs[:3]))
+        assert width in gaps
+
+    def test_deterministic_given_seed(self):
+        w = get_workload("gups")
+        a = w.build_ctas(np.random.default_rng(5), scale=0.2)
+        b = w.build_ctas(np.random.default_rng(5), scale=0.2)
+        assert all((x.page_offset == y.page_offset).all()
+                   for x, y in zip(a, b))
+
+
+class TestScaling:
+    def test_scaled_multiplies_footprints(self):
+        w = get_workload("st2d")
+        big = w.scaled(16)
+        assert big.main.pages == w.main.pages * 16
+        assert big.abbr == w.abbr
+
+    def test_requests_page_scale(self):
+        w = get_workload("st2d")
+        reqs_4k = w.requests(page_scale=1)
+        reqs_2m = w.requests(page_scale=512)
+        assert reqs_4k[0].pages == w.main.pages
+        assert reqs_2m[0].pages == -(-w.main.pages // 512)
+
+
+class TestValidation:
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload(abbr="x", app_name="x", suite="s", category="low",
+                     paper_mpki=1.0, data=(DataSpec("d", pages=4),),
+                     pattern="nope", weight=1.0, gap=1)
+
+    def test_bad_shared_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload(abbr="x", app_name="x", suite="s", category="low",
+                     paper_mpki=1.0, data=(DataSpec("d", pages=4),),
+                     pattern="stream", weight=1.0, gap=1, shared_mix=1.5)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ConfigError):
+            Workload(abbr="x", app_name="x", suite="s", category="low",
+                     paper_mpki=1.0, data=(), pattern="stream",
+                     weight=1.0, gap=1)
