@@ -5,6 +5,8 @@ Commands:
 * ``run``    — simulate one app under one scheme and print the results.
 * ``suite``  — run all 19 apps under one scheme (prints a per-app table).
 * ``figure`` — regenerate one paper figure/table by name (e.g. fig15).
+* ``sweep``  — pre-simulate (scheme, app) points and/or whole figures'
+  point-sets in parallel, filling the result cache.
 * ``list``   — list apps, schemes, and figures.
 """
 
@@ -14,13 +16,13 @@ import argparse
 import sys
 
 from repro.experiments import (
-    ablations,
     configs,
-    figures,
     format_bar_chart,
     format_series_table,
 )
+from repro.experiments.registry import FIGURES, figure_points, run_figure
 from repro.experiments.runner import run_point, speedups, suite_results
+from repro.experiments.sweep import SweepPoint, sweep
 from repro.workloads.suite import APP_ORDER, CATEGORY_OF
 
 SCHEMES = {
@@ -31,34 +33,6 @@ SCHEMES = {
     "barre": configs.barre,
     "fbarre": configs.fbarre,
     "mgvm": configs.mgvm,
-}
-
-FIGURES = {
-    "table1": figures.table1_mpki,
-    "fig01": figures.fig01_ptw_scaling,
-    "fig02": figures.fig02_superpage_migration,
-    "fig04": figures.fig04_mshr,
-    "fig05": figures.fig05_vpn_gap,
-    "fig06": figures.fig06_shared_l2,
-    "fig15": figures.fig15_overall,
-    "fig16": figures.fig16_ats,
-    "fig17": figures.fig17_filters,
-    "fig18": figures.fig18_breakdown,
-    "fig19": figures.fig19_sharing_traffic,
-    "fig20": figures.fig20_chiplet_scaling,
-    "fig21": figures.fig21_gmmu,
-    "fig22": figures.fig22_migration,
-    "fig23": figures.fig23_ptw_sensitivity,
-    "fig24": figures.fig24_page_size,
-    "fig25": figures.fig25_vs_superpage,
-    "fig26": figures.fig26_mappings,
-    "fig27a": figures.fig27a_multiapp,
-    "fig27b": figures.fig27b_iommu_tlb,
-    "area": figures.overhead_area,
-    "ext-ondemand": figures.ext_ondemand_paging,
-    "ablation-pw-queue": ablations.pw_queue_depth,
-    "ablation-pec-buffer": ablations.pec_buffer_capacity,
-    "ablation-stream-window": ablations.stream_window,
 }
 
 
@@ -82,6 +56,30 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--scale", type=float, default=None)
+    figure.add_argument("--jobs", type=int, default=None,
+                        help="workers for the prewarm batch "
+                             "(default: REPRO_JOBS or all cores)")
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="pre-simulate (scheme, app) points in parallel")
+    sweep_cmd.add_argument("--schemes", default="",
+                           help="comma-separated schemes, or 'all'")
+    sweep_cmd.add_argument("--apps", default="",
+                           help="comma-separated apps, or 'all' "
+                                "(defaults to all when --schemes is given)")
+    sweep_cmd.add_argument("--figures", default="",
+                           help="comma-separated figures whose full "
+                                "point-sets to warm, or 'all'")
+    sweep_cmd.add_argument("--warm-cache", action="store_true",
+                           help="warm every figure's point-set "
+                                "(a full parallel reproduction pass)")
+    sweep_cmd.add_argument("--jobs", type=int, default=None,
+                           help="worker processes "
+                                "(default: REPRO_JOBS or all cores)")
+    sweep_cmd.add_argument("--scale", type=float, default=None,
+                           help="trace scale (default: REPRO_BENCH_SCALE)")
+    sweep_cmd.add_argument("--dry-run", action="store_true",
+                           help="plan only: count cached vs missing points")
 
     report = sub.add_parser(
         "report", help="stitch results/ into results/SUMMARY.md")
@@ -119,9 +117,45 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_names(value: str, universe, what: str) -> list[str]:
+    """Parse a comma list against a universe of names ('all' = everything)."""
+    if not value:
+        return []
+    if value == "all":
+        return sorted(universe)
+    names = [v.strip() for v in value.split(",") if v.strip()]
+    unknown = [v for v in names if v not in universe]
+    if unknown:
+        raise SystemExit(
+            f"unknown {what}: {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(universe))})")
+    return names
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    schemes = _parse_names(args.schemes, SCHEMES, "scheme")
+    apps = _parse_names(args.apps, APP_ORDER, "app")
+    if schemes and not apps:
+        apps = list(APP_ORDER)
+    if apps and not schemes:
+        schemes = sorted(SCHEMES)
+    figure_names = (sorted(FIGURES) if args.warm_cache
+                    else _parse_names(args.figures, FIGURES, "figure"))
+    points = [SweepPoint(SCHEMES[scheme](), app, args.scale)
+              for scheme in schemes for app in apps]
+    for name in figure_names:
+        points.extend(figure_points(name, scale=args.scale))
+    if not points:
+        raise SystemExit(
+            "nothing to sweep; pass --schemes/--apps, --figures, "
+            "or --warm-cache")
+    outcome = sweep(points, jobs=args.jobs, dry_run=args.dry_run)
+    print(f"[sweep] {outcome.stats.describe(dry_run=args.dry_run)}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
-    fn = FIGURES[args.name]
-    out = fn() if args.scale is None else fn(scale=args.scale)
+    out = run_figure(args.name, scale=args.scale, jobs=args.jobs)
     if "series" in out and "apps" in out:
         print(format_series_table(args.name, out["apps"], out["series"],
                                   mean_row=False))
@@ -155,8 +189,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "suite": _cmd_suite,
-                "figure": _cmd_figure, "report": _cmd_report,
-                "list": _cmd_list}
+                "figure": _cmd_figure, "sweep": _cmd_sweep,
+                "report": _cmd_report, "list": _cmd_list}
     return handlers[args.command](args)
 
 

@@ -1,6 +1,8 @@
-"""Experiment harness: cached runners and per-figure reproductions."""
+"""Experiment harness: cached runners, the parallel sweep engine, and
+per-figure reproductions."""
 
 from repro.experiments import ablations, configs, figures
+from repro.experiments.registry import FIGURES, figure_points, run_figure
 from repro.experiments.report import (
     format_bar_chart,
     format_kv_block,
@@ -8,22 +10,43 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import (
     bench_scale,
+    cached_result,
     run_pair,
     run_point,
     speedups,
     suite_results,
 )
+from repro.experiments.sweep import (
+    SweepOutcome,
+    SweepPoint,
+    SweepStats,
+    collect_points,
+    default_jobs,
+    prewarm,
+    sweep,
+)
 
 __all__ = [
+    "FIGURES",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepStats",
     "ablations",
     "bench_scale",
+    "cached_result",
+    "collect_points",
     "configs",
+    "default_jobs",
+    "figure_points",
     "figures",
     "format_bar_chart",
     "format_kv_block",
     "format_series_table",
+    "prewarm",
+    "run_figure",
     "run_pair",
     "run_point",
     "speedups",
     "suite_results",
+    "sweep",
 ]

@@ -5,6 +5,13 @@ Every function returns a plain dict — ``{"apps": [...], "series": {name ->
 asserts on.  ``apps=None`` runs the full Table I suite; the heaviest sweeps
 default to a balanced six-app subset (two per MPKI class), the same
 device the paper uses for Fig 24-right.
+
+Execution is batched: every ``suite_results`` call submits its apps to the
+parallel sweep engine as one batch, and ``registry.run_figure`` goes
+further — it enumerates a figure's *full* point-set up front (via the
+runner's collection mode) and fills the cache in one parallel fan-out
+before evaluating the figure, so cold figures cost one pool pass instead
+of a serial crawl.  See ``repro.experiments.sweep``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,66 @@
+"""Name → experiment-function registry for every paper table/figure.
+
+The CLI, the benchmark harness, and the sweep engine all resolve figures
+here.  ``figure_points`` enumerates a figure's *full* simulation point-set
+up front (via the runner's collection mode), and ``run_figure`` submits
+that set as one parallel batch before evaluating the figure for real — so
+a cold figure costs one fan-out instead of a serial crawl.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.experiments import ablations, figures
+
+FIGURES = {
+    "table1": figures.table1_mpki,
+    "fig01": figures.fig01_ptw_scaling,
+    "fig02": figures.fig02_superpage_migration,
+    "fig04": figures.fig04_mshr,
+    "fig05": figures.fig05_vpn_gap,
+    "fig06": figures.fig06_shared_l2,
+    "fig15": figures.fig15_overall,
+    "fig16": figures.fig16_ats,
+    "fig17": figures.fig17_filters,
+    "fig18": figures.fig18_breakdown,
+    "fig19": figures.fig19_sharing_traffic,
+    "fig20": figures.fig20_chiplet_scaling,
+    "fig21": figures.fig21_gmmu,
+    "fig22": figures.fig22_migration,
+    "fig23": figures.fig23_ptw_sensitivity,
+    "fig24": figures.fig24_page_size,
+    "fig25": figures.fig25_vs_superpage,
+    "fig26": figures.fig26_mappings,
+    "fig27a": figures.fig27a_multiapp,
+    "fig27b": figures.fig27b_iommu_tlb,
+    "area": figures.overhead_area,
+    "ext-ondemand": figures.ext_ondemand_paging,
+    "ablation-pw-queue": ablations.pw_queue_depth,
+    "ablation-pec-buffer": ablations.pec_buffer_capacity,
+    "ablation-stream-window": ablations.stream_window,
+}
+
+
+def _takes_scale(fn) -> bool:
+    return "scale" in inspect.signature(fn).parameters
+
+
+def figure_points(name: str, scale: float | None = None):
+    """Every simulation point figure ``name`` would run (collection pass)."""
+    from repro.experiments.sweep import collect_points
+    fn = FIGURES[name]
+    if scale is None or not _takes_scale(fn):
+        return collect_points(fn)
+    return collect_points(fn, scale=scale)
+
+
+def run_figure(name: str, scale: float | None = None,
+               jobs: int | None = None, progress: bool | None = None):
+    """Prewarm a figure's full point-set in one batch, then evaluate it."""
+    from repro.experiments.sweep import sweep
+    sweep(figure_points(name, scale), jobs=jobs, progress=progress)
+    fn = FIGURES[name]
+    if scale is None or not _takes_scale(fn):
+        return fn()
+    return fn(scale=scale)

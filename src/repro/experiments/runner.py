@@ -6,21 +6,36 @@ one).  ``run_point`` therefore memoizes :class:`SimResult`s on disk, keyed
 by the full configuration, the app, the trace scale, and a simulator-version
 stamp — so a full benchmark sweep pays for each distinct point once.
 
-Environment knobs:
+The cache is safe under concurrent fill (the parallel sweep engine in
+:mod:`repro.experiments.sweep` fans points out over worker processes):
+
+* results are written to a temp file and atomically renamed into place, so
+  a reader never sees a torn JSON payload;
+* a per-key lockfile (``O_CREAT | O_EXCL``) makes sure two workers that
+  race on the same point simulate it once — the loser waits and reads the
+  winner's result.
+
+Environment knobs (see docs/performance.md for the operations guide):
 
 * ``REPRO_BENCH_SCALE`` — trace-scale multiplier (default 0.4); larger is
   slower but less noisy.
 * ``REPRO_CACHE_DIR`` — cache location (default ``<repo>/.bench_cache``).
 * ``REPRO_NO_CACHE=1`` — disable the cache entirely.
+* ``REPRO_LOCK_STALE`` — seconds after which another worker's lockfile is
+  presumed dead and stolen (default 1800).
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
+import time
+import warnings
 from pathlib import Path
+from typing import Callable
 
 from repro.common.config import SimConfig
 from repro.common.stats import Histogram
@@ -34,19 +49,48 @@ SIM_VERSION = "bc-2"
 _RESULT_FIELDS = [f.name for f in dataclasses.fields(SimResult)
                   if f.name not in ("vpn_gaps", "extra")]
 
+#: Cache roots that turned out not to be writable (read-only checkout);
+#: each warns once and then behaves like ``REPRO_NO_CACHE``.
+_UNWRITABLE: set[str] = set()
+
+#: Poll interval while waiting on another worker's lockfile.
+_LOCK_POLL_S = 0.05
+
 
 def bench_scale() -> float:
     """Trace scale used by the benchmark harness."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
 
 
-def _cache_dir() -> Path | None:
+def _lock_stale_s() -> float:
+    return float(os.environ.get("REPRO_LOCK_STALE", "1800"))
+
+
+def _cache_dir(create: bool = False) -> Path | None:
+    """The cache root, or None when caching is off.
+
+    The directory is only created when ``create=True`` (a write is about
+    to happen) — merely *querying* the cache must work in a read-only
+    checkout.  If creation fails, the cache degrades to ``REPRO_NO_CACHE``
+    behaviour with a one-time warning per path.
+    """
     if os.environ.get("REPRO_NO_CACHE"):
         return None
     path = Path(os.environ.get("REPRO_CACHE_DIR",
                                Path(__file__).resolve().parents[3]
                                / ".bench_cache"))
-    path.mkdir(parents=True, exist_ok=True)
+    if str(path) in _UNWRITABLE:
+        return None
+    if create and not path.is_dir():
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            _UNWRITABLE.add(str(path))
+            warnings.warn(
+                f"result cache {path} is not writable ({exc}); "
+                "falling back to REPRO_NO_CACHE behaviour",
+                RuntimeWarning, stacklevel=3)
+            return None
     return path
 
 
@@ -62,13 +106,23 @@ def _config_key(config: SimConfig) -> str:
     return json.dumps(encode(config), sort_keys=True)
 
 
+def point_key(config: SimConfig, abbr: str, scale: float,
+              workload_tag: str = "") -> str:
+    """The canonical cache key of one simulation point.
+
+    Identical in every process — it is what makes a worker-pool fill
+    land on the same file a serial ``run_point`` would use.
+    """
+    return "|".join([SIM_VERSION, _config_key(config), abbr,
+                     f"{scale:.4f}", workload_tag])
+
+
 def _point_path(config: SimConfig, app: str, scale: float,
                 workload_tag: str) -> Path | None:
     root = _cache_dir()
     if root is None:
         return None
-    key = "|".join([SIM_VERSION, _config_key(config), app,
-                    f"{scale:.4f}", workload_tag])
+    key = point_key(config, app, scale, workload_tag)
     digest = hashlib.sha256(key.encode()).hexdigest()[:24]
     return root / f"{app.replace('+', '_')}-{digest}.json"
 
@@ -86,6 +140,122 @@ def _deserialize(payload: dict) -> SimResult:
     return SimResult(vpn_gaps=gaps, **payload)
 
 
+def _load(path: Path) -> SimResult:
+    return _deserialize(json.loads(path.read_text()))
+
+
+def _atomic_write(path: Path, result: SimResult) -> None:
+    """Write-to-temp + rename: a concurrent reader never sees a torn file."""
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(_serialize(result)))
+    os.replace(tmp, path)
+
+
+def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResult:
+    """Return the cached result at ``path``, filling it under a lockfile.
+
+    Concurrency protocol (cache-stampede safety):
+
+    1. cache hit → load and return;
+    2. try to create ``<path>.lock`` with ``O_CREAT | O_EXCL`` — exactly one
+       worker per key wins;
+    3. the winner re-checks the cache (it may have been filled while racing
+       for the lock), simulates, atomically publishes, removes the lock;
+    4. losers poll until the lock disappears, then read the winner's file.
+       A lock older than ``REPRO_LOCK_STALE`` seconds with no result is
+       presumed to belong to a crashed worker and is stolen.
+    """
+    if path is None:
+        return compute()
+    if path.exists():
+        return _load(path)
+    if _cache_dir(create=True) is None:   # cache dir vanished / read-only
+        return compute()
+    lock = path.with_suffix(".lock")
+    while True:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            while lock.exists() and not path.exists():
+                with contextlib.suppress(FileNotFoundError):
+                    if time.time() - lock.stat().st_mtime > _lock_stale_s():
+                        lock.unlink(missing_ok=True)
+                        break
+                time.sleep(_LOCK_POLL_S)
+            if path.exists():
+                return _load(path)
+            continue  # lock released or stolen but no result: try to acquire
+        os.close(fd)
+        try:
+            if path.exists():  # filled while we raced for the lock
+                return _load(path)
+            result = compute()
+            _atomic_write(path, result)
+            return result
+        finally:
+            lock.unlink(missing_ok=True)
+
+
+# --------------------------------------------------------------------------
+# Point collection (prewarm support for the sweep engine)
+# --------------------------------------------------------------------------
+
+#: When not None, ``run_point``/``run_pair`` record their would-be points
+#: here and return a cheap stub instead of simulating.  The sweep engine
+#: uses this to discover a figure's full point-set up front.
+_COLLECT_SINK: list | None = None
+
+
+@contextlib.contextmanager
+def collecting():
+    """Record (config, app, scale, tag, pair) tuples instead of simulating.
+
+    Yields the sink list.  Used by :func:`repro.experiments.sweep.collect_points`
+    to enumerate every simulation point an experiment function would run.
+    """
+    global _COLLECT_SINK
+    prev, _COLLECT_SINK = _COLLECT_SINK, []
+    try:
+        yield _COLLECT_SINK
+    finally:
+        _COLLECT_SINK = prev
+
+
+def is_collecting() -> bool:
+    return _COLLECT_SINK is not None
+
+
+def _stub_result(app: str) -> SimResult:
+    """A benign placeholder returned while collecting points.
+
+    Every derived metric must be computable without dividing by zero, so
+    experiment functions can run end-to-end during a collection pass.
+    """
+    gaps = Histogram()
+    gaps.add(0)
+    return SimResult(app=app, backend="stub", cycles=1, instructions=1000.0,
+                     l2_misses=0, l2_lookups=0, ats_requests=0,
+                     pcie_packets=0, mesh_packets=0, walks=0, pec_coalesced=0,
+                     mean_ats_time=0.0, remote_data_fraction=0.0,
+                     vpn_gaps=gaps)
+
+
+# --------------------------------------------------------------------------
+# Public runners
+# --------------------------------------------------------------------------
+
+def cached_result(config: SimConfig, app: str | Workload,
+                  scale: float | None = None,
+                  workload_tag: str = "") -> SimResult | None:
+    """The cached :class:`SimResult` for a point, or None.  Never simulates."""
+    scale = bench_scale() if scale is None else scale
+    abbr = app if isinstance(app, str) else app.abbr
+    path = _point_path(config, abbr, scale, workload_tag)
+    if path is not None and path.exists():
+        return _load(path)
+    return None
+
+
 def run_point(config: SimConfig, app: str | Workload,
               scale: float | None = None,
               workload_tag: str = "") -> SimResult:
@@ -96,37 +266,46 @@ def run_point(config: SimConfig, app: str | Workload,
     e.g. ``"x16"`` for Fig 24's scaled inputs).
     """
     scale = bench_scale() if scale is None else scale
+    if _COLLECT_SINK is not None:
+        abbr = app if isinstance(app, str) else app.abbr
+        _COLLECT_SINK.append((config, app, scale, workload_tag, None))
+        return _stub_result(abbr)
     workload = get_workload(app) if isinstance(app, str) else app
     path = _point_path(config, workload.abbr, scale, workload_tag)
-    if path is not None and path.exists():
-        return _deserialize(json.loads(path.read_text()))
-    result = McmGpuSimulator(config, [workload], trace_scale=scale).run()
-    if path is not None:
-        path.write_text(json.dumps(_serialize(result)))
-    return result
+    return _fill_point(
+        path,
+        lambda: McmGpuSimulator(config, [workload], trace_scale=scale).run())
 
 
 def run_pair(config: SimConfig, app_a: str, app_b: str,
              scale: float | None = None) -> SimResult:
     """Multi-programming point: two apps co-scheduled (Section VII-I)."""
     scale = bench_scale() if scale is None else scale
-    first = get_workload(app_a)
-    second = get_workload(app_b)
-    second.pasid = 1
-    tag = f"pair-{app_b}"
-    path = _point_path(config, app_a, scale, tag)
-    if path is not None and path.exists():
-        return _deserialize(json.loads(path.read_text()))
-    result = McmGpuSimulator(config, [first, second], trace_scale=scale).run()
-    if path is not None:
-        path.write_text(json.dumps(_serialize(result)))
-    return result
+    if _COLLECT_SINK is not None:
+        _COLLECT_SINK.append((config, app_a, scale, "", app_b))
+        return _stub_result(app_a)
+
+    def compute() -> SimResult:
+        first = get_workload(app_a)
+        second = get_workload(app_b)
+        second.pasid = 1
+        return McmGpuSimulator(config, [first, second],
+                               trace_scale=scale).run()
+
+    path = _point_path(config, app_a, scale, f"pair-{app_b}")
+    return _fill_point(path, compute)
 
 
 def suite_results(config: SimConfig, apps: list[str],
                   scale: float | None = None) -> dict[str, SimResult]:
-    """Run one configuration across a list of apps."""
-    return {app: run_point(config, app, scale) for app in apps}
+    """Run one configuration across a list of apps — as one parallel batch.
+
+    Cache misses fan out over the sweep engine's worker pool (worker count
+    from ``REPRO_JOBS``); hits are served straight from disk.
+    """
+    from repro.experiments.sweep import SweepPoint, sweep
+    outcome = sweep([SweepPoint(config, app, scale) for app in apps])
+    return dict(zip(apps, outcome.results))
 
 
 def speedups(variant: dict[str, SimResult],

@@ -1,0 +1,241 @@
+"""Parallel sweep engine: fan (config, app) simulation points over processes.
+
+Every paper figure reduces to a set of independent (config, app, scale)
+simulation points — embarrassingly parallel work that the serial harness
+paid for one core at a time.  :func:`sweep` takes an iterable of
+:class:`SweepPoint`, deduplicates them against the on-disk result cache,
+and fans the misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(worker count from ``REPRO_JOBS``, default ``os.cpu_count()``).
+
+Guarantees:
+
+* **Determinism** — a worker executes the very same ``run_point`` as an
+  in-process call (same seeded RNG from ``SimConfig.seed``, same
+  ``SIM_VERSION`` cache keying), so a pool-produced result is bit-identical
+  to a serial one.
+* **Stampede safety** — the runner's per-key lockfile plus atomic
+  write-to-temp/rename means two workers racing on one key simulate it
+  once and never publish a torn file (see ``runner._fill_point``).
+
+Prewarming: :func:`collect_points` runs an experiment function in the
+runner's collection mode — ``run_point``/``run_pair`` record their would-be
+points and return stubs — which lets a figure's *full* point-set be
+discovered up front and submitted as one batch (see
+``repro.experiments.registry.run_figure`` and ``repro sweep --warm-cache``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.common.config import SimConfig
+from repro.experiments import runner
+from repro.gpu.mcm import SimResult
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True, eq=False)
+class SweepPoint:
+    """One simulation point: a config, an app, and optional modifiers.
+
+    ``app`` is a Table I abbreviation or a pre-built :class:`Workload`;
+    ``pair_with`` marks a Section VII-I co-scheduling point (simulated via
+    ``run_pair``).
+    """
+
+    config: SimConfig
+    app: str | Workload
+    scale: float | None = None
+    workload_tag: str = ""
+    pair_with: str | None = None
+
+    @property
+    def abbr(self) -> str:
+        return self.app if isinstance(self.app, str) else self.app.abbr
+
+    @property
+    def tag(self) -> str:
+        return f"pair-{self.pair_with}" if self.pair_with else self.workload_tag
+
+    def resolved_scale(self) -> float:
+        return runner.bench_scale() if self.scale is None else self.scale
+
+    def key(self) -> str:
+        """Cache key — identical to the one ``run_point`` files under."""
+        return runner.point_key(self.config, self.abbr,
+                                self.resolved_scale(), self.tag)
+
+
+@dataclass
+class SweepStats:
+    """What one :func:`sweep` call did."""
+
+    total: int = 0          #: points submitted (incl. duplicates)
+    unique: int = 0         #: distinct cache keys
+    cached: int = 0         #: served from the on-disk cache
+    simulated: int = 0      #: actually run (0 on a dry run)
+    jobs: int = 1           #: worker count used for the misses
+    elapsed: float = 0.0    #: wall-clock seconds
+
+    def describe(self, dry_run: bool = False) -> str:
+        verb = "to simulate (dry run)" if dry_run else "simulated"
+        n = self.unique - self.cached if dry_run else self.simulated
+        return (f"{self.total} points ({self.unique} unique): "
+                f"{self.cached} cached, {n} {verb}, "
+                f"jobs={self.jobs}, {self.elapsed:.1f}s")
+
+
+@dataclass
+class SweepOutcome:
+    """Results aligned with the submitted points, plus run statistics."""
+
+    results: list[SimResult | None] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _run_inline(point: SweepPoint) -> SimResult:
+    if point.pair_with:
+        return runner.run_pair(point.config, point.app, point.pair_with,
+                               point.scale)
+    return runner.run_point(point.config, point.app, point.scale,
+                            point.workload_tag)
+
+
+def _simulate_point(point: SweepPoint) -> dict:
+    """Worker entry: simulate (filling the cache) and ship the result back.
+
+    Returns the serialized payload rather than the object so the parent
+    sees exactly what a cache hit would see, cache or no cache.
+    """
+    return runner._serialize(_run_inline(point))
+
+
+class _Progress:
+    """A single live status line on stderr: done / cached / running, ETA."""
+
+    def __init__(self, total: int, cached: int, enabled: bool | None = None):
+        self.total = total
+        self.cached = cached
+        self.enabled = sys.stderr.isatty() if enabled is None else enabled
+        self.start = time.perf_counter()
+        self._drawn = False
+
+    def update(self, done: int, running: int) -> None:
+        if not self.enabled or not self.total:
+            return
+        simulated = done - self.cached
+        eta = ""
+        if simulated > 0 and done < self.total:
+            rate = (time.perf_counter() - self.start) / simulated
+            eta = f", ETA {rate * (self.total - done):.0f}s"
+        line = (f"[sweep] {done}/{self.total} points "
+                f"({self.cached} cached, {running} running{eta})")
+        sys.stderr.write("\r" + line.ljust(79))
+        sys.stderr.flush()
+        self._drawn = True
+
+    def finish(self) -> None:
+        if self._drawn:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+def sweep(points, jobs: int | None = None, progress: bool | None = None,
+          dry_run: bool = False) -> SweepOutcome:
+    """Deduplicate ``points`` against the cache and fan the misses out.
+
+    Returns results in submission order (duplicates each get the shared
+    result).  ``jobs=None`` uses :func:`default_jobs`; ``progress=None``
+    draws the live line only on a TTY.  ``dry_run=True`` plans without
+    simulating — missing points come back as ``None``.
+    """
+    points = list(points)
+    if runner.is_collecting():
+        # A collection pass is enumerating points — stay serial so the
+        # runner records them; stubs come back immediately.
+        results = [_run_inline(p) for p in points]
+        return SweepOutcome(results, SweepStats(
+            total=len(points), unique=len(points)))
+    start = time.perf_counter()
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    keys = [p.key() for p in points]
+    unique: dict[str, SweepPoint] = {}
+    for key, point in zip(keys, points):
+        unique.setdefault(key, point)
+    results: dict[str, SimResult | None] = {}
+    misses: list[tuple[str, SweepPoint]] = []
+    for key, point in unique.items():
+        hit = runner.cached_result(point.config, point.abbr, point.scale,
+                                   point.tag)
+        if hit is None:
+            misses.append((key, point))
+        else:
+            results[key] = hit
+    cached = len(results)
+    reporter = _Progress(len(unique), cached, enabled=progress)
+    simulated = 0
+    if dry_run:
+        for key, _ in misses:
+            results[key] = None
+    elif misses:
+        simulated = len(misses)
+        if jobs == 1 or len(misses) == 1:
+            for i, (key, point) in enumerate(misses):
+                reporter.update(cached + i, running=1)
+                results[key] = _run_inline(point)
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(misses))) as pool:
+                futures = {pool.submit(_simulate_point, point): key
+                           for key, point in misses}
+                reporter.update(cached, running=len(futures))
+                done = 0
+                for future in as_completed(futures):
+                    results[futures[future]] = runner._deserialize(
+                        future.result())
+                    done += 1
+                    reporter.update(cached + done, running=len(misses) - done)
+    reporter.finish()
+    stats = SweepStats(total=len(points), unique=len(unique), cached=cached,
+                       simulated=simulated, jobs=jobs,
+                       elapsed=time.perf_counter() - start)
+    return SweepOutcome([results[key] for key in keys], stats)
+
+
+def collect_points(fn, *args, **kwargs) -> list[SweepPoint]:
+    """Every simulation point ``fn(*args, **kwargs)`` would run.
+
+    Executes ``fn`` in the runner's collection mode: ``run_point`` and
+    ``run_pair`` record their points and return stubs, so the pass is
+    cheap (no simulation, no cache I/O).  ``fn``'s return value is
+    discarded.
+    """
+    with runner.collecting() as sink:
+        fn(*args, **kwargs)
+    return [SweepPoint(config=config, app=app, scale=scale,
+                       workload_tag=tag, pair_with=pair)
+            for config, app, scale, tag, pair in sink]
+
+
+def prewarm(fn, *args, jobs: int | None = None,
+            progress: bool | None = None, **kwargs) -> SweepOutcome:
+    """Fill the cache for everything ``fn(*args, **kwargs)`` will simulate.
+
+    After this returns, calling ``fn`` for real is pure cache hits — used
+    by the benchmark harness so the timed run measures simulation shape,
+    not queueing.
+    """
+    return sweep(collect_points(fn, *args, **kwargs),
+                 jobs=jobs, progress=progress)

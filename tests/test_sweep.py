@@ -1,0 +1,187 @@
+"""Parallel sweep engine: determinism, stampede safety, CLI, cache knobs."""
+
+from __future__ import annotations
+
+import re
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import configs, figures
+from repro.experiments.runner import (
+    _serialize,
+    cached_result,
+    run_point,
+)
+from repro.experiments.sweep import (
+    SweepPoint,
+    collect_points,
+    default_jobs,
+    sweep,
+)
+from repro.gpu.mcm import McmGpuSimulator
+
+REPO = Path(__file__).resolve().parents[1]
+SCALE = 0.05
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    return tmp_path
+
+
+class TestParallelDeterminism:
+    def test_worker_result_identical_to_inprocess(self, cache, monkeypatch):
+        points = [SweepPoint(configs.baseline(), "gemv", SCALE),
+                  SweepPoint(configs.baseline(), "fft", SCALE)]
+        out = sweep(points, jobs=2, progress=False)
+        assert out.stats.simulated == 2
+        # Bypass the cache so the reference result is a pure in-process run.
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        direct = run_point(configs.baseline(), "gemv", scale=SCALE)
+        assert _serialize(direct) == _serialize(out.results[0])
+
+    def test_results_align_with_submission_order(self, cache):
+        points = [SweepPoint(configs.baseline(), app, SCALE)
+                  for app in ("gemv", "fft", "gemv")]
+        out = sweep(points, jobs=2, progress=False)
+        assert [r.app for r in out.results] == ["gemv", "fft", "gemv"]
+        assert _serialize(out.results[0]) == _serialize(out.results[2])
+
+
+class TestStampedeSafety:
+    def test_duplicate_submissions_simulate_once(self, cache):
+        point = SweepPoint(configs.baseline(), "gemv", SCALE)
+        out = sweep([point, point, point], jobs=2, progress=False)
+        assert out.stats.total == 3
+        assert out.stats.unique == 1
+        assert out.stats.simulated == 1
+        assert len(list(cache.glob("*.json"))) == 1
+
+    def test_second_sweep_is_all_cache_hits(self, cache):
+        points = [SweepPoint(configs.baseline(), "gemv", SCALE)]
+        sweep(points, jobs=2, progress=False)
+        out = sweep(points, jobs=2, progress=False)
+        assert out.stats.cached == 1
+        assert out.stats.simulated == 0
+
+    def test_concurrent_run_point_simulates_once(self, cache, monkeypatch):
+        calls = []
+        real_run = McmGpuSimulator.run
+
+        def counting_run(self):
+            calls.append(1)
+            time.sleep(0.05)   # widen the race window
+            return real_run(self)
+
+        monkeypatch.setattr(McmGpuSimulator, "run", counting_run)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(run_point, configs.baseline(), "gemv",
+                                   SCALE) for _ in range(2)]
+            results = [f.result() for f in futures]
+        assert len(calls) == 1, "lockfile failed to prevent a double simulate"
+        assert _serialize(results[0]) == _serialize(results[1])
+
+    def test_no_lockfiles_or_temp_files_left_behind(self, cache):
+        sweep([SweepPoint(configs.baseline(), "gemv", SCALE)],
+              jobs=2, progress=False)
+        assert not list(cache.glob("*.lock"))
+        assert not list(cache.glob("*.tmp"))
+
+
+class TestCollection:
+    def test_collects_every_point_without_simulating(self, cache):
+        points = collect_points(figures.fig06_shared_l2,
+                                apps=["gemv", "fft"], scale=SCALE)
+        # baseline + shared-l2, two apps each
+        assert len(points) == 4
+        assert len({p.key() for p in points}) == 4
+        assert not list(cache.glob("*.json"))
+
+    def test_collects_pair_points(self, cache):
+        points = collect_points(figures.fig27a_multiapp,
+                                pairs={"LL": ("gemv", "fft")}, scale=SCALE)
+        assert [p.pair_with for p in points] == ["fft", "fft"]
+        assert all(p.abbr == "gemv" for p in points)
+
+
+class TestCliSweep:
+    def test_sweep_command(self, cache, capsys):
+        assert main(["sweep", "--schemes", "baseline", "--apps", "gemv,fft",
+                     "--scale", str(SCALE), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out and "simulated" in out
+        assert len(list(cache.glob("*.json"))) == 2
+
+    def test_sweep_warm_cache_dry_run(self, cache, capsys):
+        assert main(["sweep", "--warm-cache", "--dry-run",
+                     "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert not list(cache.glob("*.json"))   # planned, not simulated
+
+    def test_sweep_rejects_unknown_names(self, cache):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--schemes", "nosuchscheme"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--figures", "nosuchfigure"])
+
+    def test_sweep_requires_a_selection(self, cache):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_figure_command_prewarms_in_parallel(self, cache, capsys):
+        assert main(["figure", "fig05", "--scale", str(SCALE),
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "private contiguous<=8" in out
+        # fig05: 3 apps x (baseline, shared-l2)
+        assert len(list(cache.glob("*.json"))) == 6
+
+
+class TestCacheKnobs:
+    def test_cache_dir_created_lazily(self, tmp_path, monkeypatch):
+        target = tmp_path / "never-created"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        assert cached_result(configs.baseline(), "gemv", scale=SCALE) is None
+        assert not target.exists(), "a read must not create the cache dir"
+        run_point(configs.baseline(), "gemv", scale=SCALE)
+        assert target.is_dir(), "a write creates the cache dir on demand"
+
+    def test_unwritable_cache_falls_back_to_no_cache(self, tmp_path,
+                                                     monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")   # a *file*: mkdir below it must fail
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
+        with pytest.warns(RuntimeWarning, match="REPRO_NO_CACHE behaviour"):
+            first = run_point(configs.baseline(), "gemv", scale=SCALE)
+        assert first.cycles > 0
+        # Subsequent runs keep working (and warn only once per path).
+        second = run_point(configs.baseline(), "gemv", scale=SCALE)
+        assert _serialize(second) == _serialize(first)
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert default_jobs() == 7
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() >= 1
+
+
+class TestDocsMatchCode:
+    def test_every_documented_knob_exists_in_source(self):
+        doc = (REPO / "docs" / "performance.md").read_text()
+        knobs = set(re.findall(r"REPRO_[A-Z_]+", doc))
+        # The operations guide must cover at least the core knobs.
+        assert {"REPRO_JOBS", "REPRO_BENCH_SCALE", "REPRO_CACHE_DIR",
+                "REPRO_NO_CACHE"} <= knobs
+        source = "".join(p.read_text()
+                         for p in (REPO / "src").rglob("*.py"))
+        for knob in sorted(knobs):
+            assert knob in source, (
+                f"docs/performance.md documents {knob} but no code reads it")
