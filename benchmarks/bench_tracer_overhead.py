@@ -1,0 +1,57 @@
+"""NullTracer overhead check: the default path must not pay for tracing.
+
+Every instrumentation site is guarded by ``tracer.enabled``, so a default
+(NullTracer) run does one attribute check per site and nothing else.  This
+benchmark times a default run against a RecordingTracer run of the same
+point and asserts (a) both simulate the identical event sequence and
+(b) the default run is not slower than the traced one beyond noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import configs
+from repro.gpu.mcm import McmGpuSimulator
+from repro.workloads.suite import get_workload
+
+SCALE = 0.05
+ROUNDS = 3
+
+
+def _run(trace: bool) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        sim = McmGpuSimulator(configs.fbarre(), [get_workload("gemv")],
+                              trace_scale=SCALE, trace=trace)
+        t0 = time.perf_counter()
+        result = sim.run()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_null_tracer_overhead_within_noise(benchmark):
+    null_time, null_result = _run(trace=False)
+    traced_time, traced_result = _run(trace=True)
+
+    # Tracing must be an observer: identical simulated outcome.
+    assert null_result.cycles == traced_result.cycles
+    assert null_result.walks == traced_result.walks
+    assert null_result.translation_latency == traced_result.translation_latency
+
+    # The default path must not cost more than the traced one plus noise
+    # (2x covers scheduler jitter on loaded CI machines; the point is to
+    # catch accidental always-on recording, which is a >2x regression).
+    assert null_time <= traced_time * 2.0, (
+        f"NullTracer run ({null_time:.3f}s) should not be slower than a "
+        f"RecordingTracer run ({traced_time:.3f}s) beyond noise")
+    print(f"\nnull {null_time * 1e3:.1f} ms vs traced "
+          f"{traced_time * 1e3:.1f} ms "
+          f"({traced_time / null_time:.2f}x recording cost)")
+
+    # Also record the default run in pytest-benchmark's output.
+    benchmark.pedantic(
+        lambda: McmGpuSimulator(configs.fbarre(), [get_workload("gemv")],
+                                trace_scale=SCALE).run(),
+        rounds=1, iterations=1)

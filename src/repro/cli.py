@@ -7,6 +7,8 @@ Commands:
 * ``figure`` — regenerate one paper figure/table by name (e.g. fig15).
 * ``sweep``  — pre-simulate (scheme, app) points and/or whole figures'
   point-sets in parallel, filling the result cache.
+* ``trace``  — run one point with translation-path tracing on and export
+  the spans (Chrome trace / JSONL / plain-text breakdown).
 * ``list``   — list apps, schemes, and figures.
 """
 
@@ -80,6 +82,21 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="trace scale (default: REPRO_BENCH_SCALE)")
     sweep_cmd.add_argument("--dry-run", action="store_true",
                            help="plan only: count cached vs missing points")
+
+    trace = sub.add_parser(
+        "trace", help="trace one point's translation path and export spans")
+    trace.add_argument("--scheme", choices=sorted(SCHEMES), default="fbarre")
+    trace.add_argument("--app", choices=APP_ORDER, required=True)
+    trace.add_argument("--scale", type=float, default=None,
+                       help="trace scale (default: REPRO_BENCH_SCALE)")
+    trace.add_argument("--out", default=None,
+                       help="artifact path (default: "
+                            "results/trace-<app>-<scheme>.<ext>)")
+    trace.add_argument("--format", choices=("chrome", "jsonl", "summary"),
+                       default="chrome",
+                       help="chrome = Perfetto-loadable trace-event JSON; "
+                            "jsonl = one raw span per line; "
+                            "summary = plain-text phase breakdown")
 
     report = sub.add_parser(
         "report", help="stitch results/ into results/SUMMARY.md")
@@ -171,6 +188,45 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.common.trace import write_chrome_trace, write_spans_jsonl
+    from repro.experiments.report import format_phase_breakdown
+    from repro.experiments.runner import bench_scale, store_point
+    from repro.gpu.mcm import McmGpuSimulator
+    from repro.workloads.suite import get_workload
+
+    scale = bench_scale() if args.scale is None else args.scale
+    config = SCHEMES[args.scheme]()
+    sim = McmGpuSimulator(config, [get_workload(args.app)],
+                          trace_scale=scale, trace=True)
+    result = sim.run()
+    spans = sim.tracer.spans
+
+    ext = {"chrome": ".json", "jsonl": ".jsonl", "summary": ".txt"}
+    out = Path(args.out) if args.out else \
+        Path("results") / f"trace-{args.app}-{args.scheme}{ext[args.format]}"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    title = (f"{args.app} under {args.scheme} "
+             f"(scale {scale:g}, {result.cycles} cycles)")
+    if args.format == "chrome":
+        write_chrome_trace(spans, out)
+    elif args.format == "jsonl":
+        write_spans_jsonl(spans, out)
+    else:
+        out.write_text(format_phase_breakdown(title, spans) + "\n")
+
+    print(format_phase_breakdown(title, spans))
+    print(f"{len(spans)} spans -> {out} ({args.format})")
+    # A traced run simulates the identical event sequence, so its result is
+    # a valid fill for the point's standard cache slot.
+    cached = store_point(config, args.app, result, scale=scale)
+    if cached is not None:
+        print(f"result cached at {cached}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.summary import write_summary
     path = write_summary(args.results)
@@ -190,7 +246,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "suite": _cmd_suite,
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
-                "report": _cmd_report, "list": _cmd_list}
+                "trace": _cmd_trace, "report": _cmd_report,
+                "list": _cmd_list}
     return handlers[args.command](args)
 
 

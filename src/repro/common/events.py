@@ -65,15 +65,17 @@ class EventQueue:
         """Drain the queue, optionally stopping at cycle ``until``.
 
         ``max_events`` guards against accidental infinite event loops in
-        tests; exceeding it raises :class:`SimulationError`.
+        tests: exactly ``max_events`` events fire, and a further pending
+        event raises :class:`SimulationError` (draining on the last
+        allowed event is not an error).
         """
         fired = 0
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return
-            self.step()
-            fired += 1
-            if max_events is not None and fired > max_events:
+            if max_events is not None and fired >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely an event loop")
+            self.step()
+            fired += 1

@@ -1,0 +1,282 @@
+"""Translation-path tracing: cycle-stamped spans, zero overhead when off.
+
+Every translation request (one :class:`~repro.gpu.stream.AccessStream`
+issue) owns a :class:`Span`.  Components along the path — L1/L2 TLBs, the
+miss handlers, the F-Barre agent, the IOMMU, the PEC logic, the PTW
+scheduler — stamp *phase transitions* into the span with the event queue's
+current cycle, so a finished span partitions its whole latency into named
+phases (see :data:`PHASES`).
+
+Two tracer implementations share one duck-typed protocol:
+
+* :class:`NullTracer` (the default, module singleton :data:`NULL_TRACER`)
+  does nothing; every instrumentation site is guarded by ``tracer.enabled``
+  so the default hot path pays one attribute check and no calls.
+* :class:`RecordingTracer` records spans.  Phase stamps are *key-scoped*:
+  a component reports ``(pasid, vpn, phase)`` and the stamp lands on every
+  open span for that key.  This is exactly how the hardware behaves under
+  MSHR/walk merging — merged requests share the downstream phases — and it
+  keeps the instrumentation free of request-identity plumbing.
+
+Determinism: the simulator is seeded and the event kernel fires
+simultaneous events in schedule order, so two runs of the same
+(config, app) point produce byte-identical exports (tested).
+
+Exports: :func:`write_spans_jsonl` (one span per line, raw data) and
+:func:`write_chrome_trace` (Chrome trace-event JSON, loadable in Perfetto /
+``chrome://tracing``; one "process" per chiplet, one "thread" per stream).
+:func:`phase_totals` / :func:`phase_histograms` feed the plain-text
+breakdown report in :mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.common.stats import LatencyHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (events is light,
+    from repro.common.events import EventQueue  # but keep runtime deps one-way)
+
+#: Canonical phase vocabulary, in rough pipeline order.  A stamp marks the
+#: *start* of a stage; the cycles until the next stamp (or span end) are
+#: attributed to it.  Components may only stamp names listed here.
+PHASES: dict[str, str] = {
+    "issue": "access issued by its stream (span start)",
+    "l1_hit": "private L1 TLB hit (lookup latency follows)",
+    "l1_miss": "private L1 TLB miss detected",
+    "l1_mshr_stall": "no free L1 MSHR; parked on the slot-waiter queue",
+    "valkyrie_l1_hit": "sibling-L1 probe hit (Valkyrie front-end)",
+    "l2_lookup": "L2 TLB access started",
+    "l2_hit": "L2 TLB hit",
+    "l2_miss": "L2 TLB miss detected",
+    "l2_mshr_stall": "no free L2 MSHR; parked on the slot-waiter queue",
+    "lcf_probe": "F-Barre local coalescing-filter screen started",
+    "lcf_hit": "LCF reported a resident coalescing sibling",
+    "lcf_false_positive": "LCF hit not confirmed by the L2 probe",
+    "local_calc": "translation calculated from a local sibling entry",
+    "rcf_hit": "an RCF predicted a peer sharer",
+    "peer_request": "coalescing request sent to a peer over the mesh",
+    "peer_serve": "peer started serving the request (LCF + L2 probe)",
+    "peer_reply": "peer answered with a calculated/exact entry",
+    "peer_miss": "peer could not answer; falling back to ATS",
+    "ats_send": "ATS request serialized onto the PCIe link",
+    "ats_merge": "joined an already-outstanding ATS request",
+    "iommu_receive": "request arrived at the IOMMU",
+    "iommu_tlb_hit": "IOMMU TLB hit",
+    "iommu_tlb_miss": "IOMMU TLB miss (walk must be queued)",
+    "pw_queue": "waiting in the page-walk queue",
+    "walk_merge": "merged into an in-flight walk for the same VPN",
+    "walk_deprioritized": "rotated behind coalescible in-flight walks",
+    "walk": "a page-table walker started the walk",
+    "page_fault": "walk stalled on a demand fault (host service)",
+    "pec_calculated": "PFN produced by PEC calculation, no walk",
+    "reply": "response sent back (PCIe/GMMU reply path)",
+    "ats_response": "response delivered to the requesting chiplet",
+}
+
+
+class Span:
+    """One translation request's cycle-stamped journey."""
+
+    __slots__ = ("span_id", "chiplet", "stream", "pasid", "vpn",
+                 "start", "end", "events")
+
+    def __init__(self, span_id: int, chiplet: int, stream: int,
+                 pasid: int, vpn: int, start: int) -> None:
+        self.span_id = span_id
+        self.chiplet = chiplet
+        self.stream = stream
+        self.pasid = pasid
+        self.vpn = vpn
+        self.start = start
+        self.end: int | None = None
+        #: ``(cycle, phase)`` stamps in arrival order (cycles monotonic).
+        self.events: list[tuple[int, str]] = [(start, "issue")]
+
+    @property
+    def duration(self) -> int:
+        """Total translation latency (0 while still open)."""
+        return 0 if self.end is None else self.end - self.start
+
+    def intervals(self) -> list[tuple[str, int, int]]:
+        """``(phase, start_cycle, cycles)`` partition of the span.
+
+        Each stamp opens a stage that lasts until the next stamp (the
+        span end closes the last one), so the interval lengths sum to
+        :attr:`duration` exactly — the invariant the breakdown report and
+        the acceptance test rely on.
+        """
+        if self.end is None:
+            return []
+        out = []
+        for (cycle, phase), (nxt, _p) in zip(self.events,
+                                             self.events[1:] + [(self.end, "")]):
+            out.append((phase, cycle, nxt - cycle))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "span": self.span_id,
+            "chiplet": self.chiplet,
+            "stream": self.stream,
+            "pasid": self.pasid,
+            "vpn": self.vpn,
+            "start": self.start,
+            "end": self.end,
+            "events": [[cycle, phase] for cycle, phase in self.events],
+        }
+
+
+class NullTracer:
+    """The default tracer: off, free, and safe to call anyway."""
+
+    enabled = False
+
+    def begin(self, chiplet: int, stream: int, pasid: int,
+              vpn: int) -> None:
+        return None
+
+    def phase(self, pasid: int, vpn: int, name: str) -> None:
+        return None
+
+    def end(self, span: object) -> None:
+        return None
+
+
+#: Shared no-op instance every component defaults to.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer:
+    """Records a :class:`Span` per translation request.
+
+    Stamps are associated by ``(pasid, vpn)``: all spans currently open for
+    the key receive the stamp (merged requests legitimately share their
+    downstream phases).  Stamps for keys with no open span — prefetch
+    walks, late IOMMU activity — are tallied in :attr:`unattributed`
+    rather than dropped silently.
+    """
+
+    enabled = True
+
+    def __init__(self, queue: "EventQueue") -> None:
+        self.queue = queue
+        self.spans: list[Span] = []
+        self._open: dict[tuple[int, int], list[Span]] = {}
+        self.unattributed: Counter[str] = Counter()
+
+    def begin(self, chiplet: int, stream: int, pasid: int, vpn: int) -> Span:
+        span = Span(len(self.spans), chiplet, stream, pasid, vpn,
+                    self.queue.now)
+        self.spans.append(span)
+        self._open.setdefault((pasid, vpn), []).append(span)
+        return span
+
+    def phase(self, pasid: int, vpn: int, name: str) -> None:
+        open_spans = self._open.get((pasid, vpn))
+        if not open_spans:
+            self.unattributed[name] += 1
+            return
+        now = self.queue.now
+        for span in open_spans:
+            span.events.append((now, name))
+
+    def end(self, span: Span) -> None:
+        span.end = self.queue.now
+        key = (span.pasid, span.vpn)
+        open_spans = self._open[key]
+        open_spans.remove(span)
+        if not open_spans:
+            del self._open[key]
+
+    @property
+    def open_spans(self) -> int:
+        return sum(len(v) for v in self._open.values())
+
+
+# --------------------------------------------------------------------------
+# Breakdown
+# --------------------------------------------------------------------------
+
+def phase_totals(spans: Iterable[Span]) -> dict[str, int]:
+    """Cycles attributed to each phase, summed over all finished spans.
+
+    The values sum to :func:`total_span_cycles` — i.e. to the run's total
+    translation latency — because each span's intervals partition it.
+    """
+    totals: Counter[str] = Counter()
+    for span in spans:
+        for phase, _start, cycles in span.intervals():
+            totals[phase] += cycles
+    return dict(totals)
+
+
+def phase_histograms(spans: Iterable[Span]) -> dict[str, LatencyHistogram]:
+    """Per-phase latency distribution (one sample per span interval)."""
+    hists: dict[str, LatencyHistogram] = {}
+    for span in spans:
+        for phase, _start, cycles in span.intervals():
+            hists.setdefault(phase, LatencyHistogram()).add(cycles)
+    return hists
+
+
+def total_span_cycles(spans: Iterable[Span]) -> int:
+    """Summed duration of all finished spans (total translation latency)."""
+    return sum(span.duration for span in spans)
+
+
+# --------------------------------------------------------------------------
+# Exporters
+# --------------------------------------------------------------------------
+
+def write_spans_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    """One span per line, raw (the determinism-tested format)."""
+    path = Path(path)
+    lines = [json.dumps(span.to_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for span in spans]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
+    """Chrome trace-event objects: one complete ("X") event per interval.
+
+    ``pid`` is the chiplet, ``tid`` the stream, ``ts``/``dur`` are cycles
+    (Perfetto renders them as microseconds; relative shape is what
+    matters).  Metadata events name the rows.
+    """
+    events: list[dict] = []
+    seen: set[tuple[int, int]] = set()
+    for span in spans:
+        if (span.chiplet, span.stream) not in seen:
+            seen.add((span.chiplet, span.stream))
+            events.append({"ph": "M", "name": "process_name",
+                           "pid": span.chiplet, "tid": 0,
+                           "args": {"name": f"chiplet {span.chiplet}"}})
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": span.chiplet, "tid": span.stream,
+                           "args": {"name": f"stream {span.stream}"}})
+        for phase, start, cycles in span.intervals():
+            events.append({
+                "name": phase, "cat": "translation", "ph": "X",
+                "ts": start, "dur": cycles,
+                "pid": span.chiplet, "tid": span.stream,
+                "args": {"span": span.span_id, "pasid": span.pasid,
+                         "vpn": span.vpn},
+            })
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str | Path) -> Path:
+    """Write a Perfetto-loadable Chrome trace-event JSON file."""
+    path = Path(path)
+    payload = {"traceEvents": chrome_trace_events(spans),
+               "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload, sort_keys=True,
+                               separators=(",", ":")) + "\n")
+    return path

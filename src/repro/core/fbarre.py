@@ -20,6 +20,7 @@ from typing import Callable
 
 from repro.common.config import CuckooConfig
 from repro.common.stats import StatSet
+from repro.common.trace import NULL_TRACER
 from repro.filters.cuckoo import CuckooFilter
 from repro.iommu.pec import PecLogic
 from repro.memsim.tlb import Tlb, TlbEntry
@@ -56,6 +57,8 @@ class CoalescingAgent:
         self.pec = pec
         self.l2 = l2
         self.max_merge = max_merge
+        #: Translation-path tracer (no-op unless the MCM enables tracing).
+        self.tracer = NULL_TRACER
         self.stats = StatSet(f"fbarre.{chiplet_id}")
         self.lcf = CuckooFilter(cuckoo)
         self.rcfs: dict[int, CuckooFilter] = {
@@ -121,15 +124,21 @@ class CoalescingAgent:
         requested VPN; candidates are generated with the PEC logic, screened
         by the LCF, and confirmed with a non-destructive TLB probe.
         """
+        if self.tracer.enabled:
+            self.tracer.phase(pasid, vpn, "lcf_probe")
         candidates = self.pec.candidate_vpns(pasid, vpn,
                                              max_merge=self.max_merge)
         for candidate in candidates:
             if candidate == vpn or not self.lcf.contains(candidate):
                 continue
             self.stats.bump("lcf_hits")
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "lcf_hit")
             sibling = self.l2.probe(pasid, candidate)
             if sibling is None or sibling.coal is None:
                 self.stats.bump("lcf_false_positives")
+                if self.tracer.enabled:
+                    self.tracer.phase(pasid, vpn, "lcf_false_positive")
                 continue
             entry = self._calculated_entry(pasid, vpn, sibling)
             if entry is not None:
@@ -142,6 +151,8 @@ class CoalescingAgent:
         for peer in sorted(self.rcfs):
             if self.rcfs[peer].contains(vpn):
                 self.stats.bump("rcf_hits")
+                if self.tracer.enabled:
+                    self.tracer.phase(pasid, vpn, "rcf_hit")
                 return peer
         return None
 

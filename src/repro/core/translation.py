@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.common.events import EventQueue
 from repro.common.stats import StatSet
+from repro.common.trace import NULL_TRACER
 from repro.core.fbarre import CoalescingAgent
 from repro.iommu.ats import AtsRequest, AtsResponse
 from repro.memsim.links import Link, Mesh
@@ -50,13 +51,15 @@ class AtsHandler(MissHandler):
     def __init__(self, queue: EventQueue, chiplet_id: int, pcie_up: Link,
                  deliver_to_iommu: Callable[[AtsRequest], None], *,
                  prefetch_next: bool = False,
-                 is_mapped: Callable[[int, int], bool] | None = None) -> None:
+                 is_mapped: Callable[[int, int], bool] | None = None,
+                 tracer=NULL_TRACER) -> None:
         self.queue = queue
         self.chiplet_id = chiplet_id
         self.pcie_up = pcie_up
         self.deliver_to_iommu = deliver_to_iommu
         self.prefetch_next = prefetch_next
         self.is_mapped = is_mapped or (lambda pasid, vpn: False)
+        self.tracer = tracer
         self.stats = StatSet(f"ats.{chiplet_id}")
         self._waiting: dict[tuple[int, int], list[DoneCallback]] = {}
         #: Outstanding prefetches (key -> issue cycle).  Bounded, and stale
@@ -72,6 +75,9 @@ class AtsHandler(MissHandler):
         key = (pasid, vpn)
         waiters = self._waiting.setdefault(key, [])
         waiters.append(done)
+        if self.tracer.enabled:
+            self.tracer.phase(pasid, vpn,
+                              "ats_send" if len(waiters) == 1 else "ats_merge")
         if len(waiters) == 1:
             self._send(AtsRequest(pasid=pasid, vpn=vpn,
                                   src_chiplet=self.chiplet_id,
@@ -113,6 +119,8 @@ class AtsHandler(MissHandler):
             if self.on_prefetch_fill is not None:
                 self.on_prefetch_fill(entry)
             return
+        if self.tracer.enabled:
+            self.tracer.phase(response.pasid, response.vpn, "ats_response")
         for done in self._waiting.pop(key, []):
             done(entry)
 
@@ -122,13 +130,14 @@ class FBarreHandler(MissHandler):
 
     def __init__(self, queue: EventQueue, chiplet_id: int,
                  agent: CoalescingAgent, mesh: Mesh, ats: AtsHandler,
-                 l2_probe_latency: int) -> None:
+                 l2_probe_latency: int, *, tracer=NULL_TRACER) -> None:
         self.queue = queue
         self.chiplet_id = chiplet_id
         self.agent = agent
         self.mesh = mesh
         self.ats = ats
         self.l2_probe_latency = l2_probe_latency
+        self.tracer = tracer
         self.stats = StatSet(f"fbarre_handler.{chiplet_id}")
         #: Peer agents, wired by the MCM after all chiplets exist.
         self.peers: dict[int, "FBarreHandler"] = {}
@@ -137,12 +146,16 @@ class FBarreHandler(MissHandler):
         entry = self.agent.try_local(pasid, vpn)
         if entry is not None:
             self.stats.bump("local_hits")
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "local_calc")
             latency = FILTER_CHECK_LATENCY + self.l2_probe_latency
             self.queue.schedule(latency, lambda: done(entry))
             return
         peer = self.agent.predict_sharer(pasid, vpn)
         if peer is not None:
             self.stats.bump("remote_attempts")
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "peer_request")
             self._ask_peer(peer, pasid, vpn, done)
             return
         self.stats.bump("ats_fallbacks")
@@ -152,6 +165,8 @@ class FBarreHandler(MissHandler):
                   done: DoneCallback) -> None:
         def at_peer(_payload: object) -> None:
             handler = self.peers[peer]
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "peer_serve")
             entry = handler.agent.handle_peer_request(pasid, vpn)
             self.queue.schedule(
                 PEER_SERVE_LATENCY,
@@ -160,9 +175,13 @@ class FBarreHandler(MissHandler):
         def back(entry: TlbEntry | None) -> None:
             if entry is None:
                 self.stats.bump("remote_misses")
+                if self.tracer.enabled:
+                    self.tracer.phase(pasid, vpn, "peer_miss")
                 self.ats.resolve(pasid, vpn, done)
                 return
             self.stats.bump("remote_hits")
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "peer_reply")
             done(TlbEntry(pasid=pasid, vpn=vpn, global_pfn=entry.global_pfn,
                           coal=entry.coal, pec=entry.pec)
                  if entry.vpn != vpn else entry)
@@ -181,13 +200,14 @@ class LeastHandler(MissHandler):
 
     def __init__(self, queue: EventQueue, chiplet_id: int, mesh: Mesh,
                  ats: AtsHandler, l2_probe_latency: int,
-                 tracker_capacity: int = 1024) -> None:
+                 tracker_capacity: int = 1024, *, tracer=NULL_TRACER) -> None:
         self.queue = queue
         self.chiplet_id = chiplet_id
         self.mesh = mesh
         self.ats = ats
         self.l2_probe_latency = l2_probe_latency
         self.tracker_capacity = tracker_capacity
+        self.tracer = tracer
         self.stats = StatSet(f"least.{chiplet_id}")
         #: Peer chiplet id -> that chiplet's L2 TLB (ideal tracker view).
         self.peer_l2s: dict[int, Tlb] = {}
@@ -206,8 +226,12 @@ class LeastHandler(MissHandler):
             self.ats.resolve(pasid, vpn, done)
             return
         self.stats.bump("remote_attempts")
+        if self.tracer.enabled:
+            self.tracer.phase(pasid, vpn, "peer_request")
 
         def at_peer(_payload: object) -> None:
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "peer_serve")
             entry = self.peer_l2s[peer].probe(pasid, vpn)
             self.queue.schedule(
                 self.l2_probe_latency,
@@ -216,9 +240,13 @@ class LeastHandler(MissHandler):
         def back(entry: TlbEntry | None) -> None:
             if entry is None:
                 self.stats.bump("remote_misses")  # evicted in flight
+                if self.tracer.enabled:
+                    self.tracer.phase(pasid, vpn, "peer_miss")
                 self.ats.resolve(pasid, vpn, done)
                 return
             self.stats.bump("remote_hits")
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "peer_reply")
             done(entry)
 
         self.mesh.send(self.chiplet_id, peer, None, at_peer)

@@ -6,6 +6,7 @@ from repro.experiments.registry import FIGURES, figure_points, run_figure
 from repro.experiments.report import (
     format_bar_chart,
     format_kv_block,
+    format_phase_breakdown,
     format_series_table,
 )
 from repro.experiments.runner import (
@@ -14,6 +15,7 @@ from repro.experiments.runner import (
     run_pair,
     run_point,
     speedups,
+    store_point,
     suite_results,
 )
 from repro.experiments.sweep import (
@@ -41,12 +43,14 @@ __all__ = [
     "figures",
     "format_bar_chart",
     "format_kv_block",
+    "format_phase_breakdown",
     "format_series_table",
     "prewarm",
     "run_figure",
     "run_pair",
     "run_point",
     "speedups",
+    "store_point",
     "suite_results",
     "sweep",
 ]

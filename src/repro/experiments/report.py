@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.common.stats import geomean
 
@@ -61,6 +61,39 @@ def format_bar_chart(title: str, values: Mapping[str, float],
         if ref_col is not None and 0 <= ref_col < width:
             bar[ref_col] = "|" if bar[ref_col] == " " else "+"
         lines.append(f"{key:<{name_width}} {''.join(bar)} {value:.2f}")
+    return "\n".join(lines)
+
+
+def format_phase_breakdown(title: str, spans: Iterable) -> str:
+    """Per-phase latency breakdown of a traced run, as an aligned table.
+
+    One row per phase, sorted by total attributed cycles (descending, name
+    as the tiebreak so output is deterministic).  The ``cycles`` column sums
+    to the run's total translation latency — each span's intervals partition
+    it exactly (see :meth:`repro.common.trace.Span.intervals`).
+    """
+    from repro.common.trace import (
+        phase_histograms,
+        phase_totals,
+        total_span_cycles,
+    )
+    spans = [s for s in spans if s.end is not None]
+    totals = phase_totals(spans)
+    hists = phase_histograms(spans)
+    grand = total_span_cycles(spans)
+    header = (f"{'phase':<20}{'cycles':>12}{'share':>8}{'count':>9}"
+              f"{'mean':>8}{'p50':>7}{'p90':>7}{'p99':>7}{'max':>7}")
+    lines = [title, header]
+    for phase in sorted(totals, key=lambda p: (-totals[p], p)):
+        hist = hists[phase]
+        share = totals[phase] / grand if grand else 0.0
+        lines.append(f"{phase:<20}{totals[phase]:>12}{share:>8.1%}"
+                     f"{hist.total():>9}{hist.mean():>8.1f}"
+                     f"{hist.p50:>7}{hist.p90:>7}{hist.p99:>7}"
+                     f"{hist.max:>7}")
+    lines.append(f"{'total':<20}{grand:>12}{'100.0%' if grand else '-':>8}"
+                 f"{len(spans):>9}"
+                 f"{(grand / len(spans) if spans else 0.0):>8.1f}")
     return "\n".join(lines)
 
 

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.common.config import SimConfig
-from repro.common.stats import Histogram
+from repro.common.stats import Histogram, LatencyHistogram
 from repro.gpu.mcm import McmGpuSimulator, SimResult
 from repro.workloads.base import Workload
 from repro.workloads.suite import get_workload
@@ -47,7 +47,8 @@ from repro.workloads.suite import get_workload
 SIM_VERSION = "bc-2"
 
 _RESULT_FIELDS = [f.name for f in dataclasses.fields(SimResult)
-                  if f.name not in ("vpn_gaps", "extra")]
+                  if f.name not in ("vpn_gaps", "translation_latency",
+                                    "extra")]
 
 #: Cache roots that turned out not to be writable (read-only checkout);
 #: each warns once and then behaves like ``REPRO_NO_CACHE``.
@@ -130,6 +131,7 @@ def _point_path(config: SimConfig, app: str, scale: float,
 def _serialize(result: SimResult) -> dict:
     payload = {name: getattr(result, name) for name in _RESULT_FIELDS}
     payload["vpn_gaps"] = {str(k): v for k, v in result.vpn_gaps.buckets.items()}
+    payload["translation_latency"] = result.translation_latency.as_dict()
     return payload
 
 
@@ -137,7 +139,11 @@ def _deserialize(payload: dict) -> SimResult:
     gaps = Histogram()
     for key, value in payload.pop("vpn_gaps", {}).items():
         gaps.buckets[int(key)] = value
-    return SimResult(vpn_gaps=gaps, **payload)
+    # Results cached before the latency histogram existed deserialize to an
+    # empty histogram (the scalar fields are unchanged, so the key is too).
+    latency = LatencyHistogram.from_dict(payload.pop("translation_latency",
+                                                     None))
+    return SimResult(vpn_gaps=gaps, translation_latency=latency, **payload)
 
 
 def _load(path: Path) -> SimResult:
@@ -254,6 +260,25 @@ def cached_result(config: SimConfig, app: str | Workload,
     if path is not None and path.exists():
         return _load(path)
     return None
+
+
+def store_point(config: SimConfig, app: str | Workload, result: SimResult,
+                scale: float | None = None,
+                workload_tag: str = "") -> Path | None:
+    """Publish a result at a point's canonical cache path.
+
+    Used by ``repro trace``: a traced run simulates the exact same event
+    sequence as an untraced one, so its result is a valid cache fill for
+    the standard key.  Returns the published path, or None when caching
+    is off.
+    """
+    scale = bench_scale() if scale is None else scale
+    abbr = app if isinstance(app, str) else app.abbr
+    path = _point_path(config, abbr, scale, workload_tag)
+    if path is None or _cache_dir(create=True) is None:
+        return None
+    _atomic_write(path, result)
+    return path
 
 
 def run_point(config: SimConfig, app: str | Workload,

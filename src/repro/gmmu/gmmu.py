@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.common.config import IommuConfig
 from repro.common.events import EventQueue
+from repro.common.trace import NULL_TRACER
 from repro.iommu.ats import AtsRequest, AtsResponse
 from repro.iommu.iommu import Iommu
 from repro.mapping.coalescing import PecBuffer
@@ -32,10 +33,11 @@ class Gmmu(Iommu):
                  respond: Callable[[AtsResponse], None],
                  pt_owner: Callable[[int, int], int], mesh: Mesh, *,
                  barre_enabled: bool = False,
-                 compact_bitmap: bool = False) -> None:
+                 compact_bitmap: bool = False,
+                 tracer=NULL_TRACER) -> None:
         super().__init__(queue, config, spaces, pec_buffer, chiplet_bases,
                          respond, barre_enabled=barre_enabled,
-                         compact_bitmap=compact_bitmap)
+                         compact_bitmap=compact_bitmap, tracer=tracer)
         self.chiplet_id = chiplet_id
         self.pt_owner = pt_owner
         self.mesh = mesh

@@ -18,6 +18,7 @@ from typing import Callable
 from repro.common.config import SimConfig
 from repro.common.events import EventQueue
 from repro.common.stats import StatSet
+from repro.common.trace import NULL_TRACER
 from repro.core.fbarre import CoalescingAgent
 from repro.core.translation import MissHandler
 from repro.memsim.tlb import MshrFile, Tlb, TlbEntry
@@ -33,7 +34,8 @@ class Chiplet:
 
     def __init__(self, queue: EventQueue, chiplet_id: int, config: SimConfig,
                  l2: Tlb, l2_mshr: MshrFile, miss_handler: MissHandler, *,
-                 valkyrie_l1_probing: bool = False) -> None:
+                 valkyrie_l1_probing: bool = False,
+                 tracer=NULL_TRACER) -> None:
         self.queue = queue
         self.chiplet_id = chiplet_id
         self.config = config
@@ -41,9 +43,13 @@ class Chiplet:
         self.l2_mshr = l2_mshr
         self.miss_handler = miss_handler
         self.valkyrie_l1_probing = valkyrie_l1_probing
+        self.tracer = tracer
         self.stats = StatSet(f"chiplet.{chiplet_id}")
+        self.l2.tracer = tracer
         self.l1s = [Tlb(config.l1_tlb, name=f"l1.{chiplet_id}.{s}")
                     for s in range(config.streams_per_chiplet)]
+        for l1 in self.l1s:
+            l1.tracer = tracer
         self._l1_mshrs = [MshrFile(config.l1_tlb.mshrs,
                                    name=f"l1mshr.{chiplet_id}.{s}")
                           for s in range(config.streams_per_chiplet)]
@@ -65,6 +71,8 @@ class Chiplet:
         mshr = self._l1_mshrs[stream_id]
         status = mshr.allocate(key, lambda e: self._fill_l1(stream_id, e, done))
         if status == "full":
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "l1_mshr_stall")
             mshr.wait_for_slot(
                 lambda: self.translate(stream_id, pasid, vpn, done))
             return
@@ -86,11 +94,15 @@ class Chiplet:
                 entry = l1.probe(pasid, vpn)
                 if entry is not None:
                     self.stats.bump("valkyrie_l1_hits")
+                    if self.tracer.enabled:
+                        self.tracer.phase(pasid, vpn, "valkyrie_l1_hit")
                     self.queue.schedule(
                         _L1_PROBE_LATENCY,
                         lambda e=entry: self._l1_mshrs[stream_id].release(
                             (pasid, vpn), e))
                     return
+        if self.tracer.enabled:
+            self.tracer.phase(pasid, vpn, "l2_lookup")
         self.queue.schedule(self.config.l2_tlb.lookup_latency,
                             lambda: self._l2_stage(stream_id, pasid, vpn))
 
@@ -114,6 +126,8 @@ class Chiplet:
         status = self.l2_mshr.allocate(
             key, lambda e: self._l1_mshrs[stream_id].release(key, e))
         if status == "full":
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, "l2_mshr_stall")
             self.l2_mshr.wait_for_slot(
                 lambda: self._l2_retry(stream_id, pasid, vpn))
             return

@@ -21,7 +21,8 @@ from repro.common.addresses import PAGE_SIZE_4K
 from repro.common.config import BackendKind, IommuConfig, SimConfig, TlbConfig
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.events import EventQueue
-from repro.common.stats import Histogram
+from repro.common.stats import Histogram, LatencyHistogram
+from repro.common.trace import NULL_TRACER, RecordingTracer
 from repro.core.fbarre import CoalescingAgent
 from repro.core.translation import AtsHandler, FBarreHandler, LeastHandler
 from repro.gmmu.gmmu import Gmmu, GmmuHandler
@@ -70,6 +71,11 @@ class SimResult:
     lcf_false_positives: int = 0
     gmmu_local_walks: int = 0
     gmmu_remote_walks: int = 0
+    #: Full translation-latency distribution (log2 buckets, all streams
+    #: merged).  Always collected — the per-access cost is one counter
+    #: bump — so cached sweep results carry p50/p90/p99 tails.
+    translation_latency: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -106,7 +112,8 @@ class McmGpuSimulator:
 
     def __init__(self, config: SimConfig, workloads: Sequence[Workload],
                  trace_scale: float = 1.0,
-                 verify_translations: bool = False) -> None:
+                 verify_translations: bool = False,
+                 trace: bool = False) -> None:
         if not workloads:
             raise ConfigError("need at least one workload")
         pasids = [w.pasid for w in workloads]
@@ -122,6 +129,11 @@ class McmGpuSimulator:
         if verify_translations and config.migration.enabled:
             raise ConfigError("verify_translations is racy under migration")
         self.queue = EventQueue()
+        #: Translation-path tracer: a no-op unless ``trace=True``, in which
+        #: case every component stamps cycle-accurate phase transitions
+        #: (see repro.common.trace).  Tracing never schedules events, so a
+        #: traced run's SimResult is bit-identical to an untraced one.
+        self.tracer = RecordingTracer(self.queue) if trace else NULL_TRACER
         self.rng = np.random.default_rng(config.seed)
         self.page_scale = config.page_size // PAGE_SIZE_4K
         self._build()
@@ -169,7 +181,8 @@ class McmGpuSimulator:
                 self.queue, cfg.iommu, self.spaces, self.driver.pec_buffer,
                 self.memory_map.chiplet_bases, self._route_response,
                 barre_enabled=barre,
-                compact_bitmap=self.driver.compact_bitmap)
+                compact_bitmap=self.driver.compact_bitmap,
+                tracer=self.tracer)
             if self.pager is not None:
                 self.iommu.fault_handler = self.pager.handle_fault
 
@@ -200,22 +213,26 @@ class McmGpuSimulator:
                                self.memory_map.chiplet_bases,
                                compact_bitmap=self.driver.compact_bitmap,
                                name=f"pec.{cid}")
+                pec.tracer = self.tracer
                 agent = CoalescingAgent(
                     cid, cfg.num_chiplets, cfg.cuckoo, pec, l2,
                     max_merge=merge,
                     send_update=self._make_update_sender(cid))
+                agent.tracer = self.tracer
                 self.agents[cid] = agent
                 handler = FBarreHandler(
                     self.queue, cid, agent, self.sharing_mesh, base,
-                    cfg.l2_tlb.lookup_latency)
+                    cfg.l2_tlb.lookup_latency, tracer=self.tracer)
                 fbarre_handlers[cid] = handler
             elif cfg.backend is BackendKind.LEAST:
                 handler = LeastHandler(self.queue, cid, self.mesh, base,
-                                       cfg.l2_tlb.lookup_latency)
+                                       cfg.l2_tlb.lookup_latency,
+                                       tracer=self.tracer)
                 least_handlers[cid] = handler
             chiplet = Chiplet(
                 self.queue, cid, cfg, l2, l2_mshr, handler,
-                valkyrie_l1_probing=cfg.backend is BackendKind.VALKYRIE)
+                valkyrie_l1_probing=cfg.backend is BackendKind.VALKYRIE,
+                tracer=self.tracer)
             chiplet.agent = self.agents.get(cid)
             if isinstance(base, AtsHandler):
                 base.on_prefetch_fill = chiplet.fill_l2_prefetch
@@ -249,7 +266,8 @@ class McmGpuSimulator:
                 pt_owner=self._pt_owner, mesh=self.mesh,
                 barre_enabled=cfg.backend in (BackendKind.BARRE,
                                               BackendKind.FBARRE),
-                compact_bitmap=self.driver.compact_bitmap)
+                compact_bitmap=self.driver.compact_bitmap,
+                tracer=self.tracer)
             if self.pager is not None:
                 gmmu.fault_handler = self.pager.handle_fault
             self.gmmus.append(gmmu)
@@ -258,7 +276,7 @@ class McmGpuSimulator:
         handler = AtsHandler(
             self.queue, cid, self.pcie.up, self.iommu.receive,
             prefetch_next=cfg.backend is BackendKind.VALKYRIE,
-            is_mapped=self._is_mapped)
+            is_mapped=self._is_mapped, tracer=self.tracer)
         self._ats_handlers[cid] = handler
         return handler
 
@@ -311,7 +329,8 @@ class McmGpuSimulator:
                     self.queue, sid, accesses, cfg.stream_window,
                     translate=chiplet.translate,
                     access_data=self._make_data_access(cid),
-                    on_drained=self._stream_drained)
+                    on_drained=self._stream_drained,
+                    chiplet_id=cid, tracer=self.tracer)
                 self.streams.append(stream)
                 self._remaining += 1
 
@@ -374,6 +393,9 @@ class McmGpuSimulator:
         for src in walk_sources:
             for gap, count in src.vpn_gaps.buckets.items():
                 vpn_gaps.buckets[gap] += count
+        latency = LatencyHistogram()
+        for stream in self.streams:
+            latency.merge(stream.latency_hist)
         result = SimResult(
             app="+".join(w.abbr for w in self.workloads),
             backend=cfg.backend.value,
@@ -392,6 +414,7 @@ class McmGpuSimulator:
             migrations=self.migration.migrations if self.migration else 0,
             page_faults=self.pager.faults if self.pager else 0,
             pages_per_fault=self.pager.pages_per_fault() if self.pager else 0.0,
+            translation_latency=latency,
         )
         for agent in self.agents.values():
             result.lcf_hits += agent.stats.count("lcf_hits")

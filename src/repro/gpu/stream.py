@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.common.events import EventQueue
-from repro.common.stats import StatSet
+from repro.common.stats import LatencyHistogram, StatSet
+from repro.common.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,8 @@ class AccessStream:
                  accesses: Sequence[TraceAccess], window: int,
                  translate: Callable[[int, int, int, Callable], None],
                  access_data: Callable[[int, int, int, int, Callable], None],
-                 on_drained: Callable[["AccessStream"], None]) -> None:
+                 on_drained: Callable[["AccessStream"], None], *,
+                 chiplet_id: int = 0, tracer=NULL_TRACER) -> None:
         self.queue = queue
         self.stream_id = stream_id
         self.accesses = accesses
@@ -44,7 +46,12 @@ class AccessStream:
         self.translate = translate
         self.access_data = access_data
         self.on_drained = on_drained
+        self.chiplet_id = chiplet_id
+        self.tracer = tracer
         self.stats = StatSet(f"stream.{stream_id}")
+        #: Full translation-latency distribution (always on; log2 buckets
+        #: keep it cheap and make cross-worker merges deterministic).
+        self.latency_hist = LatencyHistogram()
         self._next_index = 0
         self._outstanding = 0
         self._completed = 0
@@ -72,9 +79,15 @@ class AccessStream:
         self._issue_ready = False
         issued_at = self.queue.now
         self.stats.bump("issued")
+        span = (self.tracer.begin(self.chiplet_id, self.stream_id,
+                                  access.pasid, access.vpn)
+                if self.tracer.enabled else None)
 
         def translated(entry) -> None:
             self.stats.observe("translation_latency", self.queue.now - issued_at)
+            self.latency_hist.add(self.queue.now - issued_at)
+            if span is not None:
+                self.tracer.end(span)
             self.access_data(self.stream_id, access.pasid, access.vpn,
                              entry.global_pfn, lambda: self._complete())
 

@@ -17,6 +17,7 @@ from repro.common.config import IommuConfig
 from repro.common.errors import SimulationError
 from repro.common.events import EventQueue
 from repro.common.stats import Histogram, StatSet
+from repro.common.trace import NULL_TRACER
 from repro.iommu.ats import AtsRequest, AtsResponse
 from repro.iommu.pec import PecLogic
 from repro.iommu.scheduler import select_next
@@ -44,18 +45,21 @@ class Iommu:
                  chiplet_bases: tuple[int, ...],
                  respond: Callable[[AtsResponse], None], *,
                  barre_enabled: bool = False,
-                 compact_bitmap: bool = False) -> None:
+                 compact_bitmap: bool = False,
+                 tracer=NULL_TRACER) -> None:
         self.queue = queue
         self.config = config
         self.spaces = spaces
         self.respond = respond
         self.barre_enabled = barre_enabled
+        self.tracer = tracer
         self.stats = StatSet("iommu")
         #: Distribution of |VPN gap| between consecutive arrivals (Fig 5).
         self.vpn_gaps = Histogram()
         self._last_vpn: int | None = None
         self.pec = PecLogic(pec_buffer, chiplet_bases,
                             compact_bitmap=compact_bitmap, name="iommu.pec")
+        self.pec.tracer = tracer
         self._pending: deque[AtsRequest] = deque()
         self._walking: dict[tuple[int, int], _WalkState] = {}
         self._free_ptws = config.num_ptws
@@ -70,12 +74,16 @@ class Iommu:
                                       ways=min(16, config.tlb_entries),
                                       lookup_latency=config.tlb_latency,
                                       mshrs=64), name="iommu.tlb")
+            self._tlb.tracer = tracer
+            self._tlb.trace_label = "iommu_tlb"
 
     # -- ingress -------------------------------------------------------------
 
     def receive(self, request: AtsRequest) -> None:
         """An ATS request arrived over PCIe."""
         self.stats.bump("ats_requests")
+        if self.tracer.enabled and not request.prefetch:
+            self.tracer.phase(request.pasid, request.vpn, "iommu_receive")
         if self._last_vpn is not None:
             self.vpn_gaps.add(abs(request.vpn - self._last_vpn))
         self._last_vpn = request.vpn
@@ -99,6 +107,8 @@ class Iommu:
         if walk is not None:
             walk.requests.append(request)  # merge with in-flight walk
             self.stats.bump("walk_merges")
+            if self.tracer.enabled and not request.prefetch:
+                self.tracer.phase(request.pasid, request.vpn, "walk_merge")
             return
         if request.prefetch and len(self._pending) >= \
                 self.config.pw_queue_entries // 2:
@@ -109,6 +119,8 @@ class Iommu:
             return
         # Same-key requests already queued are merged at dispatch time.
         self._pending.append(request)
+        if self.tracer.enabled and not request.prefetch:
+            self.tracer.phase(request.pasid, request.vpn, "pw_queue")
         self.stats.observe("pw_queue_depth", len(self._pending))
         if len(self._pending) > self.config.pw_queue_entries:
             self.stats.bump("pw_queue_overflows")
@@ -120,18 +132,22 @@ class Iommu:
         while self._free_ptws > 0 and self._pending:
             if self.config.coalescing_aware_scheduling and self.barre_enabled:
                 request = select_next(self._pending, self._walking.keys(),
-                                      self.pec.pec_buffer)
+                                      self.pec.pec_buffer, tracer=self.tracer)
             else:
                 request = self._pending.popleft()
             walk = self._walking.get(request.key)
             if walk is not None:
                 walk.requests.append(request)
                 self.stats.bump("walk_merges")
+                if self.tracer.enabled and not request.prefetch:
+                    self.tracer.phase(request.pasid, request.vpn, "walk_merge")
                 continue
             self._walking[request.key] = _WalkState(
                 pasid=request.pasid, vpn=request.vpn, requests=[request])
             self._free_ptws -= 1
             self.stats.bump("walks")
+            if self.tracer.enabled and not request.prefetch:
+                self.tracer.phase(request.pasid, request.vpn, "walk")
             self.queue.schedule(self._walk_latency(request),
                                 lambda key=request.key: self._walk_done(key))
 
@@ -149,6 +165,8 @@ class Iommu:
             # (the driver maps the page — or, under Barre, its whole
             # coalescing group, Section VI).
             self.stats.bump("page_faults")
+            if self.tracer.enabled:
+                self.tracer.phase(walk.pasid, walk.vpn, "page_fault")
             latency = self.fault_handler(walk.pasid, walk.vpn)
             self.queue.schedule(latency, lambda: self._walk_done(key))
             return
@@ -202,6 +220,8 @@ class Iommu:
                 source: str) -> None:
         arrival = self._arrival.pop(id(request), self.queue.now)
         self.stats.observe("processing_time", self.queue.now - arrival)
+        if self.tracer.enabled and not request.prefetch:
+            self.tracer.phase(request.pasid, request.vpn, "reply")
         coal = fields if (fields is not None and fields.coalesced_under(
             self.pec.compact_bitmap)) else None
         desc = None

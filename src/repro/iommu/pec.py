@@ -10,6 +10,7 @@ descriptor, test group membership, calculate PFNs, and enumerate sibling
 from __future__ import annotations
 
 from repro.common.stats import StatSet
+from repro.common.trace import NULL_TRACER
 from repro.mapping.coalescing import (
     DataDescriptor,
     PecBuffer,
@@ -27,6 +28,8 @@ class PecLogic:
         self.pec_buffer = pec_buffer
         self.chiplet_bases = chiplet_bases
         self.compact_bitmap = compact_bitmap
+        #: Translation-path tracer (no-op unless the owner enables tracing).
+        self.tracer = NULL_TRACER
         self.stats = StatSet(name)
 
     def descriptor_for(self, pasid: int, vpn: int) -> DataDescriptor | None:
@@ -49,6 +52,8 @@ class PecLogic:
                                     self.chiplet_bases,
                                     compact=self.compact_bitmap)
         self.stats.bump("calculations" if pfn is not None else "rejections")
+        if pfn is not None and self.tracer.enabled:
+            self.tracer.phase(pasid, pending_vpn, "pec_calculated")
         return pfn
 
     def sibling_vpns(self, pasid: int, vpn: int,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+from repro.common.trace import NULL_TRACER
 from repro.iommu.ats import AtsRequest
 from repro.mapping.coalescing import PecBuffer
 
@@ -31,7 +32,7 @@ def group_key(pec_buffer: PecBuffer, pasid: int,
 
 
 def select_next(pending: deque[AtsRequest], walking: Iterable[tuple[int, int]],
-                pec_buffer: PecBuffer) -> AtsRequest:
+                pec_buffer: PecBuffer, tracer=NULL_TRACER) -> AtsRequest:
     """Pop the next request to walk, de-prioritizing coalescible ones.
 
     ``walking`` holds the (pasid, vpn) pairs currently under translation.
@@ -49,5 +50,7 @@ def select_next(pending: deque[AtsRequest], walking: Iterable[tuple[int, int]],
         key = group_key(pec_buffer, front.pasid, front.vpn)
         if key is None or key not in walking_keys:
             return pending.popleft()
+        if tracer.enabled:
+            tracer.phase(front.pasid, front.vpn, "walk_deprioritized")
         pending.rotate(-1)  # de-prioritize: move front to the back
     return pending.popleft()

@@ -17,6 +17,7 @@ from typing import Any, Callable
 
 from repro.common.config import TlbConfig
 from repro.common.stats import StatSet
+from repro.common.trace import NULL_TRACER
 
 
 @dataclass
@@ -53,6 +54,10 @@ class Tlb:
             OrderedDict() for _ in range(config.sets)]
         self.on_insert: Callable[[TlbEntry], None] | None = None
         self.on_evict: Callable[[TlbEntry], None] | None = None
+        #: Translation-path tracer (no-op by default); ``trace_label``
+        #: prefixes the hit/miss phase stamps ("l1", "l2", "iommu_tlb").
+        self.tracer = NULL_TRACER
+        self.trace_label = name.split(".", 1)[0]
 
     def _set_for(self, vpn: int) -> OrderedDict[tuple[int, int], TlbEntry]:
         return self._sets[vpn % self.config.sets]
@@ -64,9 +69,13 @@ class Tlb:
         entry = entries.get(key)
         if entry is None:
             self.stats.bump("misses")
+            if self.tracer.enabled:
+                self.tracer.phase(pasid, vpn, f"{self.trace_label}_miss")
             return None
         entries.move_to_end(key)
         self.stats.bump("hits")
+        if self.tracer.enabled:
+            self.tracer.phase(pasid, vpn, f"{self.trace_label}_hit")
         return entry
 
     def probe(self, pasid: int, vpn: int) -> TlbEntry | None:

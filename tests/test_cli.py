@@ -25,6 +25,28 @@ def test_figure_command_area(capsys):
     assert "overhead_vs_l2" in out
 
 
+def test_trace_command(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out_path = tmp_path / "trace.jsonl"
+    assert main(["trace", "--app", "gemv", "--scheme", "fbarre",
+                 "--scale", "0.05", "--format", "jsonl",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "total" in out and "spans ->" in out
+    assert out_path.exists() and out_path.stat().st_size > 0
+    # The traced run warms the point's standard cache slot.
+    assert "result cached at" in out
+
+
+def test_trace_summary_format_writes_breakdown(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    out_path = tmp_path / "breakdown.txt"
+    assert main(["trace", "--app", "gemv", "--scale", "0.05",
+                 "--format", "summary", "--out", str(out_path)]) == 0
+    text = out_path.read_text()
+    assert "phase" in text and "cycles" in text and "total" in text
+
+
 def test_run_rejects_unknown_app():
     with pytest.raises(SystemExit):
         main(["run", "nosuchapp"])

@@ -66,6 +66,27 @@ def test_max_events_guard_detects_loops():
         q.run(max_events=100)
 
 
+def test_max_events_fires_exactly_n():
+    q = EventQueue()
+    fired = []
+    for tag in range(5):
+        q.schedule(tag, lambda t=tag: fired.append(t))
+    with pytest.raises(SimulationError):
+        q.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert q.events_fired == 3
+    assert q.pending == 2
+
+
+def test_max_events_draining_on_last_event_is_not_an_error():
+    q = EventQueue()
+    fired = []
+    for tag in range(3):
+        q.schedule(tag, lambda t=tag: fired.append(t))
+    q.run(max_events=3)  # queue empties on the Nth event: fine
+    assert fired == [0, 1, 2]
+
+
 def test_schedule_at_absolute_time():
     q = EventQueue()
     fired = []

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common import Histogram, StatSet, geomean
+from repro.common import Histogram, LatencyHistogram, StatSet, geomean
 
 
 class TestStatSet:
@@ -39,6 +39,22 @@ class TestStatSet:
         assert d["m_mean"] == 2.0
         assert d["m_samples"] == 1
 
+    def test_as_dict_rejects_derived_key_collision(self):
+        # A counter literally named "lat_mean" would silently shadow the
+        # mean derived from observe("lat", ...); that must be an error.
+        s = StatSet("x")
+        s.bump("lat_mean")
+        s.observe("lat", 7.0)
+        with pytest.raises(ValueError, match="lat_mean"):
+            s.as_dict()
+
+    def test_as_dict_samples_collision_also_rejected(self):
+        s = StatSet("x")
+        s.bump("lat_samples")
+        s.observe("lat", 7.0)
+        with pytest.raises(ValueError, match="lat_samples"):
+            s.as_dict()
+
 
 class TestHistogram:
     def test_fractions(self):
@@ -62,6 +78,71 @@ class TestHistogram:
         assert h.total() == 0
         assert h.fraction_at(1) == 0.0
         assert h.quantile(0.5) == 0
+
+
+class TestLatencyHistogram:
+    def test_log2_buckets(self):
+        h = LatencyHistogram()
+        for v in (0, 1, 2, 3, 4, 100):
+            h.add(v)
+        # bit_length: 0->0, 1->1, {2,3}->2, 4->3, 100->7
+        assert dict(h.buckets) == {0: 1, 1: 1, 2: 2, 3: 1, 7: 1}
+        assert h.total() == 6
+        assert h.sum == 110
+        assert h.max == 100
+        assert h.mean() == pytest.approx(110 / 6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().add(-1)
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        h = LatencyHistogram()
+        for v in range(1, 101):
+            h.add(v)
+        # p50 of 1..100 lands in bucket 6 ([32, 63]); bound is 63.
+        assert h.p50 == 63
+        assert h.p90 == 100  # bucket 7 bound 127, clamped to max
+        assert h.percentile(1.0) == 100
+
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.total() == 0
+        assert h.mean() == 0.0
+        assert h.p50 == 0 and h.p99 == 0
+
+    def test_merge_order_independent(self):
+        parts = []
+        for base in (0, 1, 2):
+            h = LatencyHistogram()
+            for v in range(base, 30, 3):
+                h.add(v)
+            parts.append(h)
+        forward, backward = LatencyHistogram(), LatencyHistogram()
+        for p in parts:
+            forward.merge(p)
+        for p in reversed(parts):
+            backward.merge(p)
+        serial = LatencyHistogram()
+        for v in range(30):
+            serial.add(v)
+        assert forward == backward == serial
+
+    def test_dict_round_trip(self):
+        h = LatencyHistogram()
+        for v in (0, 5, 1000):
+            h.add(v)
+        again = LatencyHistogram.from_dict(h.as_dict())
+        assert again == h
+        assert LatencyHistogram.from_dict(None) == LatencyHistogram()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6)))
+    def test_property_percentiles_bounded(self, values):
+        h = LatencyHistogram()
+        for v in values:
+            h.add(v)
+        assert 0 <= h.p50 <= h.p90 <= h.p99 <= (h.max if values else 0)
 
 
 class TestGeomean:

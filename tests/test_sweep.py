@@ -12,9 +12,11 @@ import pytest
 from repro.cli import main
 from repro.experiments import configs, figures
 from repro.experiments.runner import (
+    _deserialize,
     _serialize,
     cached_result,
     run_point,
+    store_point,
 )
 from repro.experiments.sweep import (
     SweepPoint,
@@ -171,6 +173,35 @@ class TestCacheKnobs:
         assert default_jobs() == 7
         monkeypatch.delenv("REPRO_JOBS")
         assert default_jobs() >= 1
+
+
+class TestCachePayloadCompat:
+    def test_pre_histogram_payloads_still_load(self, cache):
+        # Results cached before SimResult grew translation_latency have no
+        # such key; they must deserialize to an empty histogram, not crash.
+        fresh = run_point(configs.baseline(), "gemv", scale=SCALE)
+        payload = _serialize(fresh)
+        payload.pop("translation_latency")
+        old = _deserialize(payload)
+        assert old.cycles == fresh.cycles
+        assert old.translation_latency.total() == 0
+
+    def test_histogram_survives_cache_round_trip(self, cache):
+        first = run_point(configs.baseline(), "gemv", scale=SCALE)
+        assert first.translation_latency.total() > 0
+        again = cached_result(configs.baseline(), "gemv", scale=SCALE)
+        assert again is not None
+        assert again.translation_latency == first.translation_latency
+
+    def test_store_point_publishes_at_canonical_path(self, cache,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        result = run_point(configs.baseline(), "gemv", scale=SCALE)
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        path = store_point(configs.baseline(), "gemv", result, scale=SCALE)
+        assert path is not None and path.exists()
+        served = cached_result(configs.baseline(), "gemv", scale=SCALE)
+        assert _serialize(served) == _serialize(result)
 
 
 class TestDocsMatchCode:

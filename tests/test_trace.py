@@ -1,0 +1,157 @@
+"""Translation-path tracing tests: spans, determinism, breakdown invariant."""
+
+import json
+
+import pytest
+
+from repro.common import EventQueue
+from repro.common.trace import (
+    NULL_TRACER,
+    PHASES,
+    RecordingTracer,
+    chrome_trace_events,
+    phase_totals,
+    total_span_cycles,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.experiments import configs
+from repro.gpu.mcm import McmGpuSimulator
+from repro.workloads.suite import get_workload
+
+SCALE = 0.05
+
+
+def _traced_run(scheme="fbarre", app="gemv"):
+    sim = McmGpuSimulator(configs.__dict__[scheme.replace("-", "_")](),
+                          [get_workload(app)], trace_scale=SCALE, trace=True)
+    result = sim.run()
+    return sim, result
+
+
+class TestRecordingTracer:
+    def test_span_lifecycle_and_intervals(self):
+        q = EventQueue()
+        t = RecordingTracer(q)
+        spans = []
+        q.schedule(0, lambda: spans.append(t.begin(0, 1, 0, 42)))
+        q.schedule(3, lambda: t.phase(0, 42, "l1_miss"))
+        q.schedule(10, lambda: t.phase(0, 42, "reply"))
+        q.schedule(12, lambda: t.end(spans[0]))
+        q.run()
+        span = spans[0]
+        assert span.duration == 12
+        assert span.intervals() == [("issue", 0, 3), ("l1_miss", 3, 7),
+                                    ("reply", 10, 2)]
+        assert sum(c for _p, _s, c in span.intervals()) == span.duration
+        assert t.open_spans == 0
+
+    def test_stamps_land_on_all_open_spans_for_key(self):
+        q = EventQueue()
+        t = RecordingTracer(q)
+        a = t.begin(0, 0, 0, 7)
+        b = t.begin(0, 1, 0, 7)   # merged request, same (pasid, vpn)
+        other = t.begin(0, 2, 0, 8)
+        t.phase(0, 7, "walk")
+        assert [p for _c, p in a.events] == ["issue", "walk"]
+        assert [p for _c, p in b.events] == ["issue", "walk"]
+        assert [p for _c, p in other.events] == ["issue"]
+
+    def test_unattributed_stamps_are_tallied(self):
+        t = RecordingTracer(EventQueue())
+        t.phase(0, 99, "walk")
+        assert t.unattributed["walk"] == 1
+        assert t.spans == []
+
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.begin(0, 0, 0, 0) is None
+        assert NULL_TRACER.phase(0, 0, "walk") is None
+        assert NULL_TRACER.end(None) is None
+
+
+class TestTracedSimulation:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return _traced_run()
+
+    def test_all_spans_close_and_stamps_attribute(self, traced):
+        sim, _result = traced
+        assert sim.tracer.spans
+        assert sim.tracer.open_spans == 0
+        assert not sim.tracer.unattributed
+
+    def test_phases_come_from_the_vocabulary(self, traced):
+        sim, _result = traced
+        used = {p for s in sim.tracer.spans for _c, p in s.events}
+        assert used <= set(PHASES)
+
+    def test_breakdown_sums_to_total_translation_latency(self, traced):
+        # The acceptance invariant: per-phase cycle sums equal the run's
+        # total translation latency (spans partition, histogram agrees).
+        sim, result = traced
+        totals = phase_totals(sim.tracer.spans)
+        assert sum(totals.values()) == total_span_cycles(sim.tracer.spans)
+        assert sum(totals.values()) == result.translation_latency.sum
+
+    def test_tracing_does_not_change_simulation(self, traced):
+        _sim, result = traced
+        plain = McmGpuSimulator(configs.fbarre(), [get_workload("gemv")],
+                                trace_scale=SCALE).run()
+        assert plain.cycles == result.cycles
+        assert plain.walks == result.walks
+        assert plain.translation_latency == result.translation_latency
+
+    def test_least_scheme_traces_too(self):
+        sim, _result = _traced_run(scheme="least")
+        assert sim.tracer.spans and sim.tracer.open_spans == 0
+
+    def test_histogram_filled_even_without_tracing(self):
+        plain = McmGpuSimulator(configs.fbarre(), [get_workload("gemv")],
+                                trace_scale=SCALE).run()
+        hist = plain.translation_latency
+        assert hist.total() > 0
+        assert hist.p50 <= hist.p99 <= hist.max
+
+
+class TestExports:
+    def test_jsonl_determinism(self, tmp_path):
+        # Two independent traced runs of the same point must export
+        # byte-identical JSONL.
+        paths = []
+        for tag in ("a", "b"):
+            sim, _ = _traced_run()
+            paths.append(write_spans_jsonl(sim.tracer.spans,
+                                           tmp_path / f"{tag}.jsonl"))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert paths[0].stat().st_size > 0
+
+    def test_jsonl_lines_are_valid_json(self, tmp_path):
+        sim, _ = _traced_run()
+        path = write_spans_jsonl(sim.tracer.spans, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(sim.tracer.spans)
+        first = json.loads(lines[0])
+        assert {"span", "chiplet", "stream", "pasid", "vpn", "start",
+                "end", "events"} <= set(first)
+
+    def test_chrome_trace_loads_and_partitions(self, tmp_path):
+        sim, result = _traced_run()
+        path = write_chrome_trace(sim.tracer.spans, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 and "name" in e and "ts" in e
+                   for e in x_events)
+        # Total duration across X events equals total translation latency.
+        assert sum(e["dur"] for e in x_events) == \
+            result.translation_latency.sum
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+    def test_chrome_events_cover_all_spans(self):
+        sim, _ = _traced_run()
+        events = chrome_trace_events(sim.tracer.spans)
+        spans_seen = {e["args"]["span"] for e in events if e["ph"] == "X"}
+        assert spans_seen == {s.span_id for s in sim.tracer.spans}
