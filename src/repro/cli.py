@@ -9,6 +9,9 @@ Commands:
   point-sets in parallel, filling the result cache.
 * ``trace``  — run one point with translation-path tracing on and export
   the spans (Chrome trace / JSONL / plain-text breakdown).
+* ``validate`` — differential validation: run several schemes on seeded
+  fuzz workloads with the invariant checker installed and assert every
+  delivered PFN matches the reference translator (and each other).
 * ``list``   — list apps, schemes, and figures.
 """
 
@@ -97,6 +100,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="chrome = Perfetto-loadable trace-event JSON; "
                             "jsonl = one raw span per line; "
                             "summary = plain-text phase breakdown")
+
+    validate = sub.add_parser(
+        "validate",
+        help="differential validation: schemes vs the reference translator")
+    validate.add_argument("--schemes", default="ats,barre,fbarre",
+                          help="comma-separated schemes ('ats' = baseline "
+                               "ATS; default: ats,barre,fbarre)")
+    validate.add_argument("--seeds", type=int, default=10,
+                          help="number of fuzz seeds (default 10)")
+    validate.add_argument("--seed-start", type=int, default=0,
+                          help="first seed (default 0)")
+    validate.add_argument("--scale", type=float, default=1.0,
+                          help="trace scale for the fuzz workloads")
+    validate.add_argument("--no-invariants", action="store_true",
+                          help="skip the runtime invariant checker "
+                               "(oracle comparison only)")
+    validate.add_argument("--inject-pec-bug", type=int, default=0,
+                          metavar="OFFSET",
+                          help="test-only: add OFFSET to every "
+                               "PEC-calculated PFN and prove the harness "
+                               "catches it (expect failures)")
 
     report = sub.add_parser(
         "report", help="stitch results/ into results/SUMMARY.md")
@@ -227,6 +251,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation.differential import (
+        SCHEME_FACTORIES,
+        run_validation,
+    )
+
+    schemes = _parse_names(args.schemes, SCHEME_FACTORIES, "scheme")
+    if not schemes:
+        raise SystemExit("pass --schemes (e.g. --schemes ats,barre,fbarre)")
+    seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    report = run_validation(schemes, seeds, trace_scale=args.scale,
+                            check_invariants=not args.no_invariants,
+                            inject_pec_offset=args.inject_pec_bug)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.summary import write_summary
     path = write_summary(args.results)
@@ -246,8 +287,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "suite": _cmd_suite,
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
-                "trace": _cmd_trace, "report": _cmd_report,
-                "list": _cmd_list}
+                "trace": _cmd_trace, "validate": _cmd_validate,
+                "report": _cmd_report, "list": _cmd_list}
     return handlers[args.command](args)
 
 

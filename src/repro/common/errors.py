@@ -39,3 +39,22 @@ class FilterError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event engine detected an inconsistency (e.g. deadlock)."""
+
+
+class InvariantViolation(ReproError):
+    """A structural invariant of the simulated machine was broken.
+
+    Raised by the runtime invariant checker (:mod:`repro.validation`) and by
+    internal-state checks that used to be bare ``assert`` statements — so
+    they still fire, with context, under ``python -O``.  A violation always
+    indicates a simulator bug, never a property of the modelled hardware.
+    """
+
+
+class ValidationError(ReproError):
+    """The differential validation harness found a divergence.
+
+    Carries a human-readable report of the first divergent access: the
+    (pasid, vpn) key, the schemes' disagreeing PFNs, and — when available —
+    the access's translation-path trace span.
+    """

@@ -97,18 +97,26 @@ class CuckooFilter:
         # Kick a resident fingerprint to its alternate bucket.
         row = i1 if (self._kick_cursor & 1) == 0 else i2
         self._kick_cursor += 1
+        chain: list[tuple[int, int]] = []
         for _ in range(self.config.max_kicks):
             bucket = self._buckets[row]
             victim_slot = self._kick_cursor % len(bucket)
             self._kick_cursor += 1
+            chain.append((row, victim_slot))
             bucket[victim_slot], fp = fp, bucket[victim_slot]
             row = self._index2(row, fp)
             if len(self._buckets[row]) < self.config.ways:
                 self._buckets[row].append(fp)
                 self._size += 1
                 return True
-        # Undo is unnecessary: the displaced chain left a valid table; the
-        # final homeless fingerprint is simply dropped (standard practice).
+        # Unwind the displacement chain so a failed insert drops only the
+        # *new* fingerprint, never a resident victim's — this is what makes
+        # "no false negatives for resident keys" a hard invariant rather
+        # than a high-probability property (the validation subsystem
+        # asserts it).
+        for kicked_row, slot in reversed(chain):
+            bucket = self._buckets[kicked_row]
+            bucket[slot], fp = fp, bucket[slot]
         return False
 
     def delete(self, item: int) -> bool:

@@ -107,13 +107,80 @@ class SimResult:
         return baseline.cycles / self.cycles
 
 
+def build_driver(config: SimConfig) -> GpuDriver:
+    """Construct the GPU driver stack (allocators, spaces, policy) for a config.
+
+    This is the allocation-side half of the machine: everything the driver
+    writes (page tables, PEC buffer, ownership records) is fully determined
+    by the configuration and the workload requests, with no event timing
+    involved.  The reference translator (:mod:`repro.validation.oracle`)
+    builds the same stack to derive ground truth independently of the
+    simulated translation hardware.
+    """
+    allocators = FrameAllocatorGroup(config.num_chiplets,
+                                     config.frames_per_chiplet)
+    spaces = AddressSpaceRegistry()
+    policy = make_policy(config.mapping, config.num_chiplets)
+    barre = config.backend in (BackendKind.BARRE, BackendKind.FBARRE)
+    merge = (config.merged_coal_groups
+             if config.backend is BackendKind.FBARRE else 1)
+    return GpuDriver(config.memory_map, allocators, spaces, policy,
+                     barre_enabled=barre, merge_max=merge,
+                     pec_buffer_entries=config.pec_buffer_entries)
+
+
+def allocate_workloads(driver: GpuDriver, workloads: Sequence[Workload],
+                       page_scale: int,
+                       pager: DemandPager | None = None) -> None:
+    """Map every workload's data objects, in declaration order."""
+    for workload in workloads:
+        for request in workload.requests(page_scale):
+            if pager is not None:
+                pager.malloc(request)
+            else:
+                driver.malloc(request)
+
+
+def build_access_trace(config: SimConfig, workloads: Sequence[Workload],
+                       driver: GpuDriver, rng: np.random.Generator,
+                       page_scale: int,
+                       trace_scale: float) -> list[list[list[TraceAccess]]]:
+    """Per-chiplet CTA access lists, exactly as the simulator issues them.
+
+    Deterministic in (config.seed via ``rng``, workloads, trace_scale): the
+    simulator and the reference translator both call this, so the oracle
+    replays the very same access stream the timing simulation runs.
+    """
+    per_chiplet_ctas: list[list[list[TraceAccess]]] = [
+        [] for _ in range(config.num_chiplets)]
+    for workload in workloads:
+        records = [driver.data[(workload.pasid, i)]
+                   for i in range(len(workload.data))]
+        main = records[workload.main_data]
+        ctas = workload.build_ctas(rng, trace_scale)
+        for cta in ctas:
+            chiplet = driver.policy.cta_chiplet(
+                cta.cta_id, workload.num_ctas, main.plan, main.num_pages)
+            accesses = []
+            for data_idx, offset in zip(cta.data_index, cta.page_offset):
+                record = records[data_idx]
+                scaled = int(offset) // page_scale
+                vpn = record.start_vpn + min(scaled, record.num_pages - 1)
+                accesses.append(TraceAccess(pasid=workload.pasid, vpn=vpn,
+                                            weight=workload.weight,
+                                            gap=workload.gap))
+            per_chiplet_ctas[chiplet].append(accesses)
+    return per_chiplet_ctas
+
+
 class McmGpuSimulator:
     """Builds and runs one MCM-GPU configuration for one or more apps."""
 
     def __init__(self, config: SimConfig, workloads: Sequence[Workload],
                  trace_scale: float = 1.0,
                  verify_translations: bool = False,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 check_invariants: bool = False) -> None:
         if not workloads:
             raise ConfigError("need at least one workload")
         pasids = [w.pasid for w in workloads]
@@ -136,33 +203,37 @@ class McmGpuSimulator:
         self.tracer = RecordingTracer(self.queue) if trace else NULL_TRACER
         self.rng = np.random.default_rng(config.seed)
         self.page_scale = config.page_size // PAGE_SIZE_4K
+        #: Optional per-access observer ``(chiplet, stream, pasid, vpn, pfn)``
+        #: called with every delivered translation (differential harness).
+        self.pfn_observer = None
         self._build()
+        #: Runtime invariant checker (debug mode, off by default): wraps the
+        #: structural state — TLBs, MSHRs, filters, PEC logic, the driver —
+        #: and asserts invariants as events fire.  Installing it never
+        #: schedules events, so checked runs simulate identically.
+        self.invariant_checker = None
+        if check_invariants:
+            from repro.validation.invariants import InvariantChecker
+            self.invariant_checker = InvariantChecker(self)
+            self.invariant_checker.install()
 
     # -- construction -------------------------------------------------------
 
     def _build(self) -> None:
         cfg = self.config
         self.memory_map = cfg.memory_map
-        self.allocators = FrameAllocatorGroup(cfg.num_chiplets,
-                                              cfg.frames_per_chiplet)
-        self.spaces = AddressSpaceRegistry()
-        self.policy = make_policy(cfg.mapping, cfg.num_chiplets)
+        self.driver = build_driver(cfg)
+        self.allocators = self.driver.allocators
+        self.spaces = self.driver.spaces
+        self.policy = self.driver.policy
         barre = cfg.backend in (BackendKind.BARRE, BackendKind.FBARRE)
         merge = cfg.merged_coal_groups if cfg.backend is BackendKind.FBARRE else 1
-        self.driver = GpuDriver(self.memory_map, self.allocators, self.spaces,
-                                self.policy, barre_enabled=barre,
-                                merge_max=merge,
-                                pec_buffer_entries=cfg.pec_buffer_entries)
         self.pager: DemandPager | None = None
         if cfg.demand_paging:
             self.pager = DemandPager(self.driver,
                                      fault_latency=cfg.fault_latency)
-        for workload in self.workloads:
-            for request in workload.requests(self.page_scale):
-                if self.pager is not None:
-                    self.pager.malloc(request)
-                else:
-                    self.driver.malloc(request)
+        allocate_workloads(self.driver, self.workloads, self.page_scale,
+                           pager=self.pager)
 
         self.mesh = Mesh(self.queue, cfg.mesh, cfg.num_chiplets)
         self.sharing_mesh = (Mesh(self.queue, cfg.mesh, cfg.num_chiplets,
@@ -305,18 +376,9 @@ class McmGpuSimulator:
 
     def _build_streams(self) -> None:
         cfg = self.config
-        per_chiplet_ctas: list[list[list[TraceAccess]]] = [
-            [] for _ in range(cfg.num_chiplets)]
-        for workload in self.workloads:
-            records = [self.driver.data[(workload.pasid, i)]
-                       for i in range(len(workload.data))]
-            main = records[workload.main_data]
-            ctas = workload.build_ctas(self.rng, self.trace_scale)
-            for cta in ctas:
-                chiplet = self.policy.cta_chiplet(
-                    cta.cta_id, workload.num_ctas, main.plan, main.num_pages)
-                accesses = self._cta_accesses(workload, records, cta)
-                per_chiplet_ctas[chiplet].append(accesses)
+        per_chiplet_ctas = build_access_trace(
+            cfg, self.workloads, self.driver, self.rng, self.page_scale,
+            self.trace_scale)
         self.streams: list[AccessStream] = []
         self._remaining = 0
         for cid, chiplet in enumerate(self.chiplets):
@@ -334,17 +396,6 @@ class McmGpuSimulator:
                 self.streams.append(stream)
                 self._remaining += 1
 
-    def _cta_accesses(self, workload: Workload, records, cta) -> list[TraceAccess]:
-        accesses = []
-        for data_idx, offset in zip(cta.data_index, cta.page_offset):
-            record = records[data_idx]
-            scaled = int(offset) // self.page_scale
-            vpn = record.start_vpn + min(scaled, record.num_pages - 1)
-            accesses.append(TraceAccess(pasid=workload.pasid, vpn=vpn,
-                                        weight=workload.weight,
-                                        gap=workload.gap))
-        return accesses
-
     def _make_data_access(self, cid: int):
         def access(stream_id: int, pasid: int, vpn: int, pfn: int,
                    done) -> None:
@@ -354,6 +405,8 @@ class McmGpuSimulator:
                     raise SimulationError(
                         f"wrong translation: VPN {vpn:#x} -> {pfn:#x}, "
                         f"page table says {expected:#x}")
+            if self.pfn_observer is not None:
+                self.pfn_observer(cid, stream_id, pasid, vpn, pfn)
             if self.migration is not None:
                 self.migration.note_access(cid, self.fabric.owner_of(pfn),
                                            pasid, vpn)
@@ -373,6 +426,8 @@ class McmGpuSimulator:
             raise SimulationError(
                 f"{self._remaining} streams never drained (translation "
                 f"deadlock?) at cycle {self.queue.now}")
+        if self.invariant_checker is not None:
+            self.invariant_checker.verify_end_of_run()
         return self._collect()
 
     def _collect(self) -> SimResult:

@@ -31,6 +31,11 @@ class PecLogic:
         #: Translation-path tracer (no-op unless the owner enables tracing).
         self.tracer = NULL_TRACER
         self.stats = StatSet(name)
+        #: Test-only fault injection: added to every calculated PFN.  The
+        #: validation harness sets this to a non-zero offset to prove the
+        #: oracle/invariant checker catches a miscalculating PEC datapath
+        #: (it must stay 0 in real runs).
+        self.inject_pfn_offset = 0
 
     def descriptor_for(self, pasid: int, vpn: int) -> DataDescriptor | None:
         return self.pec_buffer.lookup(pasid, vpn)
@@ -54,6 +59,8 @@ class PecLogic:
         self.stats.bump("calculations" if pfn is not None else "rejections")
         if pfn is not None and self.tracer.enabled:
             self.tracer.phase(pasid, pending_vpn, "pec_calculated")
+        if pfn is not None and self.inject_pfn_offset:
+            pfn += self.inject_pfn_offset
         return pfn
 
     def sibling_vpns(self, pasid: int, vpn: int,

@@ -17,7 +17,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.common.config import MemoryMap
-from repro.common.errors import AllocationError, ConfigError
+from repro.common.errors import AllocationError, ConfigError, InvariantViolation
 from repro.mapping.allocator import FrameAllocatorGroup
 from repro.mapping.coalescing import DataDescriptor, PecBuffer
 from repro.mapping.policies import AllocationRequest, MappingPolicy, PlacementPlan
@@ -199,7 +199,10 @@ class GpuDriver:
     def _map_coalesced(self, record: AllocatedData) -> None:
         """Barre enforcement: same local PFN across sharers per group."""
         desc = record.descriptor
-        assert desc is not None
+        if desc is None:
+            raise InvariantViolation(
+                f"coalesced mapping of data {record.request.data_id} "
+                f"(pasid {record.request.pasid}) without a descriptor")
         gran = desc.interlv_gran
         rounds = -(-record.num_pages // desc.round_pages)
         for rnd in range(rounds):
@@ -251,10 +254,19 @@ class GpuDriver:
     def _map_merged_run(self, record: AllocatedData, rnd: int, intra: int,
                         run: int) -> None:
         desc = record.descriptor
-        assert desc is not None
+        if desc is None:
+            raise InvariantViolation(
+                f"merged-run mapping of data {record.request.data_id} "
+                f"(pasid {record.request.pasid}) without a descriptor")
         sharers = tuple(desc.gpu_map)
         base_pfn = self.allocators.find_common_free_run(sharers, run)
-        assert base_pfn is not None  # _mergeable_run just found it
+        if base_pfn is None:
+            # _mergeable_run found this run moments ago; losing it means
+            # the allocators mutated between the probe and the commit.
+            raise InvariantViolation(
+                f"common-free run of {run} on chiplets {sharers} vanished "
+                f"between probe and allocation (data "
+                f"{record.request.data_id}, round {rnd}, intra {intra})")
         table = self._page_table(record.request.pasid)
         bitmap = self._bitmap_for(desc, sharers)
         for offset in range(run):
@@ -276,7 +288,10 @@ class GpuDriver:
     def _map_single_group(self, record: AllocatedData, rnd: int, intra: int,
                           members: list[tuple[int, int]]) -> None:
         desc = record.descriptor
-        assert desc is not None
+        if desc is None:
+            raise InvariantViolation(
+                f"group mapping of data {record.request.data_id} "
+                f"(pasid {record.request.pasid}) without a descriptor")
         table = self._page_table(record.request.pasid)
         sharers = tuple(desc.gpu_map[j] for j, _vpn in members)
         local_pfn = (self.allocators.find_common_free(sharers)
@@ -362,10 +377,17 @@ class GpuDriver:
         every VPN whose PTE changed, so the caller can shoot down stale TLB
         entries.
         """
+        if not 0 <= dest < self.memory_map.num_chiplets:
+            raise ConfigError(f"migrate_page: no chiplet {dest}")
         record = self.record_for(pasid, vpn)
+        old_chiplet = record.chiplet_by_vpn.get(vpn)
+        if old_chiplet is None:
+            # Covers lazily-allocated pages that were never faulted in.
+            raise AllocationError(
+                f"migrate_page: VPN {vpn:#x} (pasid {pasid}) has no "
+                f"materialized frame to migrate")
         table = self.spaces.get(pasid)
         fields = table.walk(vpn)
-        old_chiplet = record.chiplet_by_vpn[vpn]
         if old_chiplet == dest:
             return []
         affected = [vpn]

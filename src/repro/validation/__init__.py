@@ -1,0 +1,47 @@
+"""Differential-oracle validation: ground truth, invariants, divergences.
+
+Three layers, each usable on its own (see ``docs/validation.md``):
+
+* :mod:`repro.validation.oracle` — a pure-functional **reference
+  translator** that replays any access stream directly against the
+  allocated page tables (no TLBs, no filters, no timing) and yields the
+  ground-truth ``(pasid, vpn) -> global PFN`` map plus the canonical
+  access order.
+* :mod:`repro.validation.invariants` — a **runtime invariant checker**
+  that installs on a simulator's event queue in a debug mode and asserts
+  structural invariants (PEC-calculated PFNs match the page table, cuckoo
+  filters never false-negative for resident keys, TLB/MSHR legality,
+  coalescing-group consistency across remaps, span partitioning) while
+  events fire.  Off by default; checked runs simulate identically.
+* :mod:`repro.validation.differential` — the **differential harness**
+  behind ``python -m repro validate``: run several translation schemes on
+  the same seeded workloads and assert that every delivered PFN matches
+  the oracle and that all schemes agree access-for-access.
+"""
+
+from repro.validation.differential import (
+    SchemeRun,
+    ValidationReport,
+    run_validation,
+    validate_point,
+)
+from repro.validation.fuzz import fuzz_workload
+from repro.validation.invariants import CheckedCuckooFilter, InvariantChecker
+from repro.validation.oracle import (
+    RefAccess,
+    ReferenceResult,
+    reference_translation,
+)
+
+__all__ = [
+    "CheckedCuckooFilter",
+    "InvariantChecker",
+    "RefAccess",
+    "ReferenceResult",
+    "SchemeRun",
+    "ValidationReport",
+    "fuzz_workload",
+    "reference_translation",
+    "run_validation",
+    "validate_point",
+]

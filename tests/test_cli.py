@@ -52,6 +52,32 @@ def test_run_rejects_unknown_app():
         main(["run", "nosuchapp"])
 
 
+def test_validate_command_clean(capsys):
+    assert main(["validate", "--schemes", "ats,barre", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "no divergences, no invariant violations" in out
+    assert "accesses checked" in out
+
+
+def test_validate_command_detects_injected_bug(capsys):
+    assert main(["validate", "--schemes", "barre", "--seeds", "1",
+                 "--inject-pec-bug", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "INVARIANT VIOLATION" in out and "page table says" in out
+
+
+def test_validate_command_reports_divergence_without_checker(capsys):
+    assert main(["validate", "--schemes", "barre", "--seeds", "1",
+                 "--no-invariants", "--inject-pec-bug", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "DIVERGENCE" in out and "expected" in out
+
+
+def test_validate_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        main(["validate", "--schemes", "nosuchscheme"])
+
+
 def test_all_figures_registered():
     # 18 paper figures (fig27 split a/b) + table1 + area + the on-demand
     # extension + 3 ablations.

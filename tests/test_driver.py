@@ -294,3 +294,80 @@ def test_property_driver_mapping_is_complete_and_consistent(
                 calc = calculate_pending_pfn(desc, vpn, fields, pending,
                                              mm.chiplet_bases)
                 assert calc == table.walk(pending).global_pfn
+
+
+class TestTypedExceptions:
+    """Driver misuse raises typed exceptions, not bare asserts.
+
+    These guards must hold even under ``python -O`` (which strips assert
+    statements), so the driver uses explicit raises; the subprocess test
+    at the bottom proves the -O behavior for the whole family.
+    """
+
+    def test_migrate_to_unknown_chiplet_is_config_error(self):
+        driver, _alloc, _spaces, _mm = make_driver(num_chiplets=2)
+        rec = driver.malloc(AllocationRequest(data_id=1, pages=4, row_pages=1))
+        for dest in (-1, 2, 99):
+            with pytest.raises(ConfigError, match="no chiplet"):
+                driver.migrate_page(0, rec.start_vpn, dest=dest)
+
+    def test_migrate_unmaterialized_lazy_page_is_allocation_error(self):
+        driver, _alloc, _spaces, _mm = make_driver()
+        rec = driver.malloc_lazy(
+            AllocationRequest(data_id=1, pages=8, row_pages=2))
+        with pytest.raises(AllocationError, match="no materialized frame"):
+            driver.migrate_page(0, rec.start_vpn, dest=1)
+        # After fault-in the same call succeeds.
+        driver.fault_in(0, rec.start_vpn)
+        assert driver.migrate_page(0, rec.start_vpn, dest=1)
+
+    def test_unallocated_vpn_is_allocation_error(self):
+        driver, _alloc, _spaces, _mm = make_driver()
+        with pytest.raises(AllocationError, match="not allocated"):
+            driver.record_for(0, 0x4000)
+
+    def test_mapping_without_descriptor_is_invariant_violation(self):
+        from repro.common import InvariantViolation
+        plain, _a, _s, _m = make_driver(barre=False)
+        rec = plain.malloc(AllocationRequest(data_id=1, pages=8, row_pages=2))
+        assert rec.descriptor is None
+        barre_driver, _a2, _s2, _m2 = make_driver()
+        with pytest.raises(InvariantViolation, match="without a descriptor"):
+            barre_driver._map_coalesced(rec)
+
+    def test_guards_survive_python_O(self):
+        """The raise sites fire with asserts stripped (-O)."""
+        import subprocess
+        import sys
+        program = (
+            "from repro.common import AllocationError, ConfigError, "
+            "MappingKind, MemoryMap\n"
+            "from repro.mapping import (AllocationRequest, "
+            "FrameAllocatorGroup, GpuDriver, make_policy)\n"
+            "from repro.memsim import AddressSpaceRegistry\n"
+            "assert False  # proves -O is active: must NOT raise\n"
+            "driver = GpuDriver(MemoryMap(num_chiplets=2, "
+            "frames_per_chiplet=64), FrameAllocatorGroup(2, 64), "
+            "AddressSpaceRegistry(), make_policy(MappingKind.LASP, 2), "
+            "barre_enabled=True, merge_max=1)\n"
+            "rec = driver.malloc(AllocationRequest(data_id=1, pages=4, "
+            "row_pages=1))\n"
+            "try:\n"
+            "    driver.migrate_page(0, rec.start_vpn, dest=7)\n"
+            "except ConfigError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('ConfigError lost under -O')\n"
+            "try:\n"
+            "    driver.record_for(0, 0x9000)\n"
+            "except AllocationError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('AllocationError lost under -O')\n"
+            "print('OK')\n")
+        proc = subprocess.run(
+            [sys.executable, "-O", "-c", program],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.strip() == "OK"

@@ -7,11 +7,13 @@ translations never disagree with the page table (enforced per access by
 ``verify_translations``).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.experiments import configs
 from repro.gpu import McmGpuSimulator
+from repro.validation import reference_translation
 from repro.workloads import DataSpec, Workload
 
 PATTERN_CHOICES = ["stream", "blocked", "stencil", "stride", "random",
@@ -82,3 +84,75 @@ def test_property_barre_never_increases_walks(workload, seed):
     barre = McmGpuSimulator(configs.barre(seed=seed), [workload],
                             trace_scale=1.0).run()
     assert barre.walks <= base.walks
+
+
+@settings(max_examples=10, deadline=None)
+@given(workload=small_workloads(),
+       scheme=st.sampled_from(["baseline", "barre"]),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_property_delivered_pfns_match_the_oracle(workload, scheme, seed):
+    """Baseline-ATS and Barre: every delivered PFN equals the reference
+    translator's ground truth, with the invariant checker armed."""
+    cfg = getattr(configs, scheme)(seed=seed)
+    ref = reference_translation(cfg, [workload])
+    sim = McmGpuSimulator(cfg, [workload], trace_scale=1.0,
+                          check_invariants=True)
+    seen = []
+    sim.pfn_observer = lambda cid, sid, pasid, vpn, pfn: seen.append(
+        ((pasid, vpn), pfn))
+    sim.run()
+    assert seen
+    assert all(ref.translations[key] == pfn for key, pfn in seen)
+
+
+@settings(max_examples=6, deadline=None)
+@given(workload=small_workloads(),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_property_baseline_checked_run_is_timing_identical(workload, seed):
+    """The invariant checker must be a pure observer under baseline ATS."""
+    cfg = configs.baseline(seed=seed)
+    plain = McmGpuSimulator(cfg, [workload], trace_scale=1.0).run()
+    checked = McmGpuSimulator(cfg, [workload], trace_scale=1.0,
+                              check_invariants=True).run()
+    assert checked.cycles == plain.cycles
+    assert checked.walks == plain.walks
+
+
+# -- nightly deep profile --------------------------------------------------
+#
+# Same invariants, far more examples.  Deselected by default via the
+# ``slow`` marker (addopts -m "not slow"); the nightly CI job runs them
+# with ``-m slow``.
+
+@pytest.mark.slow
+@settings(max_examples=150, deadline=None)
+@given(workload=small_workloads(),
+       merge=st.sampled_from([1, 2]),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_deep_fbarre_translates_any_workload_correctly(workload, merge, seed):
+    cfg = configs.fbarre(merge=merge, seed=seed)
+    result = McmGpuSimulator(cfg, [workload], trace_scale=1.0,
+                             verify_translations=True,
+                             check_invariants=True).run()
+    assert result.cycles > 0
+
+
+@pytest.mark.slow
+@settings(max_examples=100, deadline=None)
+@given(workload=small_workloads(),
+       scheme=st.sampled_from(["baseline", "barre", "fbarre"]),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_deep_delivered_pfns_match_the_oracle(workload, scheme, seed):
+    cfg = getattr(configs, scheme)(seed=seed)
+    ref = reference_translation(cfg, [workload])
+    sim = McmGpuSimulator(cfg, [workload], trace_scale=1.0,
+                          check_invariants=True)
+    failures: list[tuple[int, int, int]] = []
+
+    def observer(_cid, _sid, pasid, vpn, pfn):
+        if ref.translations.get((pasid, vpn)) != pfn:
+            failures.append((pasid, vpn, pfn))
+
+    sim.pfn_observer = observer
+    sim.run()
+    assert not failures
