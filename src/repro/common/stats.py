@@ -25,6 +25,26 @@ class StatSet:
         """Increment counter ``key`` by ``amount``."""
         self._counters[key] += amount
 
+    @property
+    def counters(self) -> Counter[str]:
+        """The live Counter behind :meth:`bump`.
+
+        Per-access hot paths cache this and increment it in place, which
+        skips a method call per event while keeping every readout
+        (:meth:`count`, :meth:`as_dict`) exact and up to date.
+        """
+        return self._counters
+
+    @property
+    def sums(self) -> defaultdict[str, float]:
+        """Live sum bag behind :meth:`observe` (see :attr:`counters`)."""
+        return self._sums
+
+    @property
+    def sample_counts(self) -> Counter[str]:
+        """Live sample counts behind :meth:`observe` (see :attr:`counters`)."""
+        return self._counts
+
     def observe(self, key: str, value: float) -> None:
         """Record one sample of a quantity whose mean we report."""
         self._sums[key] += value

@@ -26,7 +26,7 @@ from repro.iommu.pec import PecLogic
 from repro.memsim.tlb import Tlb, TlbEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterUpdate:
     """A batch of Section V-A2's 44-bit messages for one TLB event.
 
@@ -57,9 +57,12 @@ class CoalescingAgent:
         self.pec = pec
         self.l2 = l2
         self.max_merge = max_merge
-        #: Translation-path tracer (no-op unless the MCM enables tracing).
+        #: Translation-path tracer (no-op unless the MCM enables tracing;
+        #: assigned after construction, so the setter refreshes the cached
+        #: enabled flag).
         self.tracer = NULL_TRACER
         self.stats = StatSet(f"fbarre.{chiplet_id}")
+        self._counters = self.stats.counters
         self.lcf = CuckooFilter(cuckoo)
         self.rcfs: dict[int, CuckooFilter] = {
             peer: CuckooFilter(cuckoo)
@@ -68,6 +71,15 @@ class CoalescingAgent:
         self.send_update = send_update or (lambda peer, update: None)
         l2.on_insert = self._on_l2_insert
         l2.on_evict = self._on_l2_evict
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._trace_on = tracer.enabled
 
     # -- TLB mirroring -------------------------------------------------------
 
@@ -124,25 +136,25 @@ class CoalescingAgent:
         requested VPN; candidates are generated with the PEC logic, screened
         by the LCF, and confirmed with a non-destructive TLB probe.
         """
-        if self.tracer.enabled:
+        if self._trace_on:
             self.tracer.phase(pasid, vpn, "lcf_probe")
         candidates = self.pec.candidate_vpns(pasid, vpn,
                                              max_merge=self.max_merge)
         for candidate in candidates:
             if candidate == vpn or not self.lcf.contains(candidate):
                 continue
-            self.stats.bump("lcf_hits")
-            if self.tracer.enabled:
+            self._counters["lcf_hits"] += 1
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "lcf_hit")
             sibling = self.l2.probe(pasid, candidate)
             if sibling is None or sibling.coal is None:
-                self.stats.bump("lcf_false_positives")
-                if self.tracer.enabled:
+                self._counters["lcf_false_positives"] += 1
+                if self._trace_on:
                     self.tracer.phase(pasid, vpn, "lcf_false_positive")
                 continue
             entry = self._calculated_entry(pasid, vpn, sibling)
             if entry is not None:
-                self.stats.bump("local_coalesced")
+                self._counters["local_coalesced"] += 1
                 return entry
         return None
 
@@ -150,8 +162,8 @@ class CoalescingAgent:
         """RCF scan: which peer likely holds a coalescing entry (Fig 11)."""
         for peer in sorted(self.rcfs):
             if self.rcfs[peer].contains(vpn):
-                self.stats.bump("rcf_hits")
-                if self.tracer.enabled:
+                self._counters["rcf_hits"] += 1
+                if self._trace_on:
                     self.tracer.phase(pasid, vpn, "rcf_hit")
                 return peer
         return None

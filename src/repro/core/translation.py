@@ -60,7 +60,9 @@ class AtsHandler(MissHandler):
         self.prefetch_next = prefetch_next
         self.is_mapped = is_mapped or (lambda pasid, vpn: False)
         self.tracer = tracer
+        self._trace_on = tracer.enabled
         self.stats = StatSet(f"ats.{chiplet_id}")
+        self._counters = self.stats.counters
         self._waiting: dict[tuple[int, int], list[DoneCallback]] = {}
         #: Outstanding prefetches (key -> issue cycle).  Bounded, and stale
         #: entries expire: the IOMMU silently drops prefetch walks under
@@ -75,7 +77,7 @@ class AtsHandler(MissHandler):
         key = (pasid, vpn)
         waiters = self._waiting.setdefault(key, [])
         waiters.append(done)
-        if self.tracer.enabled:
+        if self._trace_on:
             self.tracer.phase(pasid, vpn,
                               "ats_send" if len(waiters) == 1 else "ats_merge")
         if len(waiters) == 1:
@@ -86,7 +88,7 @@ class AtsHandler(MissHandler):
             self._maybe_prefetch(pasid, vpn + 1)
 
     def _send(self, request: AtsRequest) -> None:
-        self.stats.bump("ats_sent")
+        self._counters["ats_sent"] += 1
         self.pcie_up.send(request, self.deliver_to_iommu)
 
     def _maybe_prefetch(self, pasid: int, vpn: int) -> None:
@@ -119,7 +121,7 @@ class AtsHandler(MissHandler):
             if self.on_prefetch_fill is not None:
                 self.on_prefetch_fill(entry)
             return
-        if self.tracer.enabled:
+        if self._trace_on:
             self.tracer.phase(response.pasid, response.vpn, "ats_response")
         for done in self._waiting.pop(key, []):
             done(entry)
@@ -138,34 +140,36 @@ class FBarreHandler(MissHandler):
         self.ats = ats
         self.l2_probe_latency = l2_probe_latency
         self.tracer = tracer
+        self._trace_on = tracer.enabled
         self.stats = StatSet(f"fbarre_handler.{chiplet_id}")
+        self._counters = self.stats.counters
         #: Peer agents, wired by the MCM after all chiplets exist.
         self.peers: dict[int, "FBarreHandler"] = {}
 
     def resolve(self, pasid: int, vpn: int, done: DoneCallback) -> None:
         entry = self.agent.try_local(pasid, vpn)
         if entry is not None:
-            self.stats.bump("local_hits")
-            if self.tracer.enabled:
+            self._counters["local_hits"] += 1
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "local_calc")
             latency = FILTER_CHECK_LATENCY + self.l2_probe_latency
             self.queue.schedule(latency, lambda: done(entry))
             return
         peer = self.agent.predict_sharer(pasid, vpn)
         if peer is not None:
-            self.stats.bump("remote_attempts")
-            if self.tracer.enabled:
+            self._counters["remote_attempts"] += 1
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "peer_request")
             self._ask_peer(peer, pasid, vpn, done)
             return
-        self.stats.bump("ats_fallbacks")
+        self._counters["ats_fallbacks"] += 1
         self.ats.resolve(pasid, vpn, done)
 
     def _ask_peer(self, peer: int, pasid: int, vpn: int,
                   done: DoneCallback) -> None:
         def at_peer(_payload: object) -> None:
             handler = self.peers[peer]
-            if self.tracer.enabled:
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "peer_serve")
             entry = handler.agent.handle_peer_request(pasid, vpn)
             self.queue.schedule(
@@ -174,13 +178,13 @@ class FBarreHandler(MissHandler):
 
         def back(entry: TlbEntry | None) -> None:
             if entry is None:
-                self.stats.bump("remote_misses")
-                if self.tracer.enabled:
+                self._counters["remote_misses"] += 1
+                if self._trace_on:
                     self.tracer.phase(pasid, vpn, "peer_miss")
                 self.ats.resolve(pasid, vpn, done)
                 return
-            self.stats.bump("remote_hits")
-            if self.tracer.enabled:
+            self._counters["remote_hits"] += 1
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "peer_reply")
             done(TlbEntry(pasid=pasid, vpn=vpn, global_pfn=entry.global_pfn,
                           coal=entry.coal, pec=entry.pec)
@@ -208,6 +212,7 @@ class LeastHandler(MissHandler):
         self.l2_probe_latency = l2_probe_latency
         self.tracker_capacity = tracker_capacity
         self.tracer = tracer
+        self._trace_on = tracer.enabled
         self.stats = StatSet(f"least.{chiplet_id}")
         #: Peer chiplet id -> that chiplet's L2 TLB (ideal tracker view).
         self.peer_l2s: dict[int, Tlb] = {}
@@ -226,11 +231,11 @@ class LeastHandler(MissHandler):
             self.ats.resolve(pasid, vpn, done)
             return
         self.stats.bump("remote_attempts")
-        if self.tracer.enabled:
+        if self._trace_on:
             self.tracer.phase(pasid, vpn, "peer_request")
 
         def at_peer(_payload: object) -> None:
-            if self.tracer.enabled:
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "peer_serve")
             entry = self.peer_l2s[peer].probe(pasid, vpn)
             self.queue.schedule(
@@ -240,12 +245,12 @@ class LeastHandler(MissHandler):
         def back(entry: TlbEntry | None) -> None:
             if entry is None:
                 self.stats.bump("remote_misses")  # evicted in flight
-                if self.tracer.enabled:
+                if self._trace_on:
                     self.tracer.phase(pasid, vpn, "peer_miss")
                 self.ats.resolve(pasid, vpn, done)
                 return
             self.stats.bump("remote_hits")
-            if self.tracer.enabled:
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "peer_reply")
             done(entry)
 

@@ -22,6 +22,25 @@ def _mix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
+#: ``_mix64(fp) & row_mask`` for every possible fingerprint, keyed by
+#: (fingerprint_bits, row_mask).  The alternate-bucket hash is recomputed
+#: on every filter operation and every kick; the fingerprint space is tiny
+#: (2**fingerprint_bits values), so one shared table per geometry replaces
+#: the mixer on that path.  Masking inside the table is exact because the
+#: row count is a power of two: ``(i ^ mix) & mask == i ^ (mix & mask)``
+#: for any in-range row index ``i``.
+_FP_XOR_TABLES: dict[tuple[int, int], list[int]] = {}
+
+
+def _fp_xor_table(fingerprint_bits: int, row_mask: int) -> list[int]:
+    key = (fingerprint_bits, row_mask)
+    table = _FP_XOR_TABLES.get(key)
+    if table is None:
+        table = [_mix64(fp) & row_mask for fp in range(1 << fingerprint_bits)]
+        _FP_XOR_TABLES[key] = table
+    return table
+
+
 class CuckooFilter:
     """Approximate membership with insert/delete (may false-positive).
 
@@ -41,6 +60,10 @@ class CuckooFilter:
         self._buckets: list[list[int]] = [[] for _ in range(self.config.rows)]
         self._row_mask = self.config.rows - 1
         self._fp_mask = (1 << self.config.fingerprint_bits) - 1
+        self._fp_xor = _fp_xor_table(self.config.fingerprint_bits,
+                                     self._row_mask)
+        self._ways = self.config.ways
+        self._max_kicks = self.config.max_kicks
         self._kick_cursor = 0
         self._size = 0
         # Above ~95% load a kick chain almost never succeeds; bail out
@@ -59,12 +82,21 @@ class CuckooFilter:
 
     def _index2(self, index1: int, fp: int) -> int:
         # Partial-key cuckoo hashing: i2 = i1 ^ hash(fp).
-        return (index1 ^ _mix64(fp)) & self._row_mask
+        return index1 ^ self._fp_xor[fp]
 
     def _candidate_rows(self, item: int) -> tuple[int, int, int]:
-        fp = self._fingerprint(item)
-        i1 = self._index1(item)
-        return fp, i1, self._index2(i1, fp)
+        # Runs on every filter operation: SplitMix64 is inlined for the two
+        # item hashes (identical arithmetic to _mix64) and the fp hash comes
+        # from the precomputed table.
+        x = (item * 2 + 1 + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        fp = ((x ^ (x >> 31)) & self._fp_mask) or 1
+        x = (item + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        i1 = (x ^ (x >> 31)) & self._row_mask
+        return fp, i1, i1 ^ self._fp_xor[fp]
 
     # -- operations --------------------------------------------------------
 
@@ -87,28 +119,41 @@ class CuckooFilter:
         insertion is a dropped update, not an error.
         """
         fp, i1, i2 = self._candidate_rows(item)
-        for row in (i1, i2):
-            if len(self._buckets[row]) < self.config.ways:
-                self._buckets[row].append(fp)
-                self._size += 1
-                return True
+        buckets = self._buckets
+        bucket = buckets[i1]
+        if len(bucket) < self._ways:
+            bucket.append(fp)
+            self._size += 1
+            return True
+        bucket = buckets[i2]
+        if len(bucket) < self._ways:
+            bucket.append(fp)
+            self._size += 1
+            return True
         if self._size >= self._kick_ceiling:
             return False  # saturated: kicking is hopeless, drop the update
         # Kick a resident fingerprint to its alternate bucket.
-        row = i1 if (self._kick_cursor & 1) == 0 else i2
-        self._kick_cursor += 1
+        cursor = self._kick_cursor
+        row = i1 if (cursor & 1) == 0 else i2
+        cursor += 1
         chain: list[tuple[int, int]] = []
-        for _ in range(self.config.max_kicks):
-            bucket = self._buckets[row]
-            victim_slot = self._kick_cursor % len(bucket)
-            self._kick_cursor += 1
-            chain.append((row, victim_slot))
+        record = chain.append
+        fp_xor = self._fp_xor
+        ways = self._ways
+        for _ in range(self._max_kicks):
+            bucket = buckets[row]
+            victim_slot = cursor % len(bucket)
+            cursor += 1
+            record((row, victim_slot))
             bucket[victim_slot], fp = fp, bucket[victim_slot]
-            row = self._index2(row, fp)
-            if len(self._buckets[row]) < self.config.ways:
-                self._buckets[row].append(fp)
+            row ^= fp_xor[fp]
+            bucket = buckets[row]
+            if len(bucket) < ways:
+                bucket.append(fp)
                 self._size += 1
+                self._kick_cursor = cursor
                 return True
+        self._kick_cursor = cursor
         # Unwind the displacement chain so a failed insert drops only the
         # *new* fingerprint, never a resident victim's — this is what makes
         # "no false negatives for resident keys" a hard invariant rather

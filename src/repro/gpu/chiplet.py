@@ -45,6 +45,11 @@ class Chiplet:
         self.valkyrie_l1_probing = valkyrie_l1_probing
         self.tracer = tracer
         self.stats = StatSet(f"chiplet.{chiplet_id}")
+        # Per-access hot-path caches: latencies are config-derived
+        # properties and the tracer is fixed at construction.
+        self._trace_on = tracer.enabled
+        self._l1_latency = config.l1_tlb.lookup_latency
+        self._l2_latency = config.l2_tlb.lookup_latency
         self.l2.tracer = tracer
         self.l1s = [Tlb(config.l1_tlb, name=f"l1.{chiplet_id}.{s}")
                     for s in range(config.streams_per_chiplet)]
@@ -63,7 +68,7 @@ class Chiplet:
         """Entry point from an access stream."""
         l1 = self.l1s[stream_id]
         entry = l1.lookup(pasid, vpn)
-        latency = self.config.l1_tlb.lookup_latency
+        latency = self._l1_latency
         if entry is not None:
             self.queue.schedule(latency, lambda: done(entry))
             return
@@ -71,7 +76,7 @@ class Chiplet:
         mshr = self._l1_mshrs[stream_id]
         status = mshr.allocate(key, lambda e: self._fill_l1(stream_id, e, done))
         if status == "full":
-            if self.tracer.enabled:
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "l1_mshr_stall")
             mshr.wait_for_slot(
                 lambda: self.translate(stream_id, pasid, vpn, done))
@@ -94,16 +99,16 @@ class Chiplet:
                 entry = l1.probe(pasid, vpn)
                 if entry is not None:
                     self.stats.bump("valkyrie_l1_hits")
-                    if self.tracer.enabled:
+                    if self._trace_on:
                         self.tracer.phase(pasid, vpn, "valkyrie_l1_hit")
                     self.queue.schedule(
                         _L1_PROBE_LATENCY,
                         lambda e=entry: self._l1_mshrs[stream_id].release(
                             (pasid, vpn), e))
                     return
-        if self.tracer.enabled:
+        if self._trace_on:
             self.tracer.phase(pasid, vpn, "l2_lookup")
-        self.queue.schedule(self.config.l2_tlb.lookup_latency,
+        self.queue.schedule(self._l2_latency,
                             lambda: self._l2_stage(stream_id, pasid, vpn))
 
     def _l2_stage(self, stream_id: int, pasid: int, vpn: int) -> None:
@@ -126,7 +131,7 @@ class Chiplet:
         status = self.l2_mshr.allocate(
             key, lambda e: self._l1_mshrs[stream_id].release(key, e))
         if status == "full":
-            if self.tracer.enabled:
+            if self._trace_on:
                 self.tracer.phase(pasid, vpn, "l2_mshr_stall")
             self.l2_mshr.wait_for_slot(
                 lambda: self._l2_retry(stream_id, pasid, vpn))

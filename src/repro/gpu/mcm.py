@@ -157,19 +157,21 @@ def build_access_trace(config: SimConfig, workloads: Sequence[Workload],
         records = [driver.data[(workload.pasid, i)]
                    for i in range(len(workload.data))]
         main = records[workload.main_data]
+        # Vectorized VPN math (start + clamped scaled offset, per record):
+        # element-wise numpy iteration dominated simulator construction.
+        starts = np.array([r.start_vpn for r in records], dtype=np.int64)
+        caps = np.array([r.num_pages - 1 for r in records], dtype=np.int64)
+        pasid, weight, gap = workload.pasid, workload.weight, workload.gap
         ctas = workload.build_ctas(rng, trace_scale)
         for cta in ctas:
             chiplet = driver.policy.cta_chiplet(
                 cta.cta_id, workload.num_ctas, main.plan, main.num_pages)
-            accesses = []
-            for data_idx, offset in zip(cta.data_index, cta.page_offset):
-                record = records[data_idx]
-                scaled = int(offset) // page_scale
-                vpn = record.start_vpn + min(scaled, record.num_pages - 1)
-                accesses.append(TraceAccess(pasid=workload.pasid, vpn=vpn,
-                                            weight=workload.weight,
-                                            gap=workload.gap))
-            per_chiplet_ctas[chiplet].append(accesses)
+            idx = cta.data_index
+            scaled = np.asarray(cta.page_offset, dtype=np.int64) // page_scale
+            vpns = (starts[idx] + np.minimum(scaled, caps[idx])).tolist()
+            per_chiplet_ctas[chiplet].append(
+                [TraceAccess(pasid=pasid, vpn=vpn, weight=weight, gap=gap)
+                 for vpn in vpns])
     return per_chiplet_ctas
 
 
@@ -397,9 +399,17 @@ class McmGpuSimulator:
                 self._remaining += 1
 
     def _make_data_access(self, cid: int):
+        # verify_translations and the migration engine are fixed before the
+        # streams are built; only pfn_observer may be attached later, so it
+        # alone is re-read per access.
+        verify = self.verify_translations
+        migration = self.migration
+        fabric_access = self.fabric.access
+        owner_of = self.fabric.owner_of
+
         def access(stream_id: int, pasid: int, vpn: int, pfn: int,
                    done) -> None:
-            if self.verify_translations:
+            if verify:
                 expected = self.spaces.get(pasid).walk(vpn).global_pfn
                 if pfn != expected:
                     raise SimulationError(
@@ -407,10 +417,9 @@ class McmGpuSimulator:
                         f"page table says {expected:#x}")
             if self.pfn_observer is not None:
                 self.pfn_observer(cid, stream_id, pasid, vpn, pfn)
-            if self.migration is not None:
-                self.migration.note_access(cid, self.fabric.owner_of(pfn),
-                                           pasid, vpn)
-            self.fabric.access(cid, pfn, done)
+            if migration is not None:
+                migration.note_access(cid, owner_of(pfn), pasid, vpn)
+            fabric_access(cid, pfn, done)
         return access
 
     def _stream_drained(self, stream: AccessStream) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.common.addresses import PfnGeometry
 from repro.common.config import MemoryMap
 from repro.common.events import EventQueue
 from repro.common.stats import StatSet
@@ -33,19 +34,37 @@ class MemoryFabric:
         self.dram_latency = dram_latency
         self.dram_serialization = dram_serialization
         self.stats = StatSet("memory")
+        self._counters = self.stats.counters
+        self._sums = self.stats.sums
+        self._obs_counts = self.stats.sample_counts
+        self._schedule = queue.schedule
         self._dram_free = [0] * memory_map.num_chiplets
+        # Owner lookup runs once per data access: precompute the window
+        # geometry instead of chasing memory_map attributes every time.
+        self._geometry = PfnGeometry(memory_map.chiplet_bases,
+                                     memory_map.frames_per_chiplet)
+        self._owner_shift = self._geometry.shift
+        self._frames_per_chiplet = memory_map.frames_per_chiplet
         #: Observer for the migration engine: (accessor, owner, global_pfn).
         self.on_access: Callable[[int, int, int], None] | None = None
 
     def owner_of(self, global_pfn: int) -> int:
-        return global_pfn // self.memory_map.frames_per_chiplet
+        shift = self._owner_shift
+        if shift is not None:
+            return global_pfn >> shift
+        return global_pfn // self._frames_per_chiplet
 
     def _serve(self, owner: int, done: Callable[[], None]) -> None:
         """One DRAM access at ``owner``: queue for bandwidth, pay latency."""
-        start = max(self.queue.now, self._dram_free[owner])
+        now = self.queue.now
+        start = self._dram_free[owner]
+        if start < now:
+            start = now
         self._dram_free[owner] = start + self.dram_serialization
-        self.stats.observe("dram_queueing", start - self.queue.now)
-        self.queue.schedule_at(start + self.dram_latency, done)
+        # Inlined stats.observe("dram_queueing", ...): one per data access.
+        self._sums["dram_queueing"] += start - now
+        self._obs_counts["dram_queueing"] += 1
+        self._schedule(start + self.dram_latency - now, done)
 
     def access(self, chiplet_id: int, global_pfn: int,
                done: Callable[[], None]) -> None:
@@ -53,10 +72,10 @@ class MemoryFabric:
         if self.on_access is not None:
             self.on_access(chiplet_id, owner, global_pfn)
         if owner == chiplet_id:
-            self.stats.bump("local_accesses")
+            self._counters["local_accesses"] += 1
             self._serve(owner, done)
             return
-        self.stats.bump("remote_accesses")
+        self._counters["remote_accesses"] += 1
 
         def at_owner(_payload: object) -> None:
             self._serve(owner,

@@ -18,7 +18,7 @@ from repro.common.stats import LatencyHistogram, StatSet
 from repro.common.trace import NULL_TRACER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceAccess:
     """One translation-triggering access."""
 
@@ -49,10 +49,21 @@ class AccessStream:
         self.chiplet_id = chiplet_id
         self.tracer = tracer
         self.stats = StatSet(f"stream.{stream_id}")
+        # Per-issue hot-path caches: the tracer is fixed at construction
+        # and the counter bag is live-shared with ``stats`` (see StatSet).
+        self._trace_on = tracer.enabled
+        self._counters = self.stats.counters
+        self._sums = self.stats.sums
+        self._obs_counts = self.stats.sample_counts
+        self._schedule = queue.schedule
+        self._translate = translate
+        self._access_data = access_data
+        self._complete_cb = self._complete
         #: Full translation-latency distribution (always on; log2 buckets
         #: keep it cheap and make cross-worker merges deterministic).
         self.latency_hist = LatencyHistogram()
         self._next_index = 0
+        self._num_accesses = len(accesses)
         self._outstanding = 0
         self._completed = 0
         self._issue_ready = True
@@ -68,32 +79,40 @@ class AccessStream:
 
     def _try_issue(self) -> None:
         """Issue the next access if the window has room."""
-        if not self._issue_ready or self._next_index >= len(self.accesses):
+        if not self._issue_ready or self._next_index >= self._num_accesses:
             return
         if self._outstanding >= self.window:
-            self.stats.bump("window_stalls")
+            self._counters["window_stalls"] += 1
             return  # a completion will re-trigger issue
         access = self.accesses[self._next_index]
         self._next_index += 1
         self._outstanding += 1
         self._issue_ready = False
         issued_at = self.queue.now
-        self.stats.bump("issued")
+        self._counters["issued"] += 1
         span = (self.tracer.begin(self.chiplet_id, self.stream_id,
                                   access.pasid, access.vpn)
-                if self.tracer.enabled else None)
+                if self._trace_on else None)
 
         def translated(entry) -> None:
-            self.stats.observe("translation_latency", self.queue.now - issued_at)
-            self.latency_hist.add(self.queue.now - issued_at)
+            latency = self.queue.now - issued_at
+            # Inlined stats.observe + latency_hist.add (latency is a
+            # nonnegative int here, so the method-level guards are moot).
+            self._sums["translation_latency"] += latency
+            self._obs_counts["translation_latency"] += 1
+            hist = self.latency_hist
+            hist.buckets[latency.bit_length()] += 1
+            hist.sum += latency
+            if latency > hist.max:
+                hist.max = latency
             if span is not None:
                 self.tracer.end(span)
-            self.access_data(self.stream_id, access.pasid, access.vpn,
-                             entry.global_pfn, lambda: self._complete())
+            self._access_data(self.stream_id, access.pasid, access.vpn,
+                              entry.global_pfn, self._complete_cb)
 
-        self.translate(self.stream_id, access.pasid, access.vpn, translated)
+        self._translate(self.stream_id, access.pasid, access.vpn, translated)
         # The compute gap separates issues regardless of completion order.
-        self.queue.schedule(access.gap, self._issue_gap_over)
+        self._schedule(access.gap, self._issue_gap_over)
 
     def _issue_gap_over(self) -> None:
         self._issue_ready = True
@@ -102,7 +121,7 @@ class AccessStream:
     def _complete(self) -> None:
         self._outstanding -= 1
         self._completed += 1
-        if self._completed == len(self.accesses):
+        if self._completed == self._num_accesses:
             self.finish_time = self.queue.now
             self.on_drained(self)
             return
@@ -110,4 +129,4 @@ class AccessStream:
 
     @property
     def drained(self) -> bool:
-        return self._completed == len(self.accesses)
+        return self._completed == self._num_accesses

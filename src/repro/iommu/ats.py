@@ -19,7 +19,7 @@ from repro.memsim.pte import PteFields
 FILTER_UPDATE_BITS = 44
 
 
-@dataclass
+@dataclass(slots=True)
 class AtsRequest:
     """One translation request as it travels to the IOMMU."""
 
@@ -36,7 +36,7 @@ class AtsRequest:
         return (self.pasid, self.vpn)
 
 
-@dataclass
+@dataclass(slots=True)
 class AtsResponse:
     """The IOMMU's answer, routed back to the requesting chiplet."""
 

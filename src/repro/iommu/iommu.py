@@ -28,7 +28,7 @@ from repro.common.config import TlbConfig
 
 
 
-@dataclass
+@dataclass(slots=True)
 class _WalkState:
     """A page-table walk in flight, with all merged requesters."""
 
@@ -54,6 +54,15 @@ class Iommu:
         self.barre_enabled = barre_enabled
         self.tracer = tracer
         self.stats = StatSet("iommu")
+        # Per-request hot-path caches: the tracer is fixed at construction,
+        # config values never change, and the counter bag is live-shared
+        # with ``stats`` (see StatSet.counters).
+        self._trace_on = tracer.enabled
+        self._counters = self.stats.counters
+        self._tlb_latency = config.tlb_latency
+        self._pw_queue_entries = config.pw_queue_entries
+        self._coal_sched = (config.coalescing_aware_scheduling
+                            and barre_enabled)
         #: Distribution of |VPN gap| between consecutive arrivals (Fig 5).
         self.vpn_gaps = Histogram()
         self._last_vpn: int | None = None
@@ -81,8 +90,8 @@ class Iommu:
 
     def receive(self, request: AtsRequest) -> None:
         """An ATS request arrived over PCIe."""
-        self.stats.bump("ats_requests")
-        if self.tracer.enabled and not request.prefetch:
+        self._counters["ats_requests"] += 1
+        if self._trace_on and not request.prefetch:
             self.tracer.phase(request.pasid, request.vpn, "iommu_receive")
         if self._last_vpn is not None:
             self.vpn_gaps.add(abs(request.vpn - self._last_vpn))
@@ -91,13 +100,13 @@ class Iommu:
         if self._tlb is not None:
             hit = self._tlb.lookup(request.pasid, request.vpn)
             if hit is not None:
-                self.stats.bump("iommu_tlb_hits")
-                self.queue.schedule(self.config.tlb_latency,
+                self._counters["iommu_tlb_hits"] += 1
+                self.queue.schedule(self._tlb_latency,
                                     lambda: self._finish(request, hit.global_pfn,
                                                          hit.coal, "iommu_tlb"))
                 return
             # Miss costs the TLB lookup before the walk can be queued.
-            self.queue.schedule(self.config.tlb_latency,
+            self.queue.schedule(self._tlb_latency,
                                 lambda: self._enqueue(request))
             return
         self._enqueue(request)
@@ -106,12 +115,12 @@ class Iommu:
         walk = self._walking.get(request.key)
         if walk is not None:
             walk.requests.append(request)  # merge with in-flight walk
-            self.stats.bump("walk_merges")
-            if self.tracer.enabled and not request.prefetch:
+            self._counters["walk_merges"] += 1
+            if self._trace_on and not request.prefetch:
                 self.tracer.phase(request.pasid, request.vpn, "walk_merge")
             return
         if request.prefetch and len(self._pending) >= \
-                self.config.pw_queue_entries // 2:
+                self._pw_queue_entries // 2:
             # Prefetch walks are lowest priority: dropped under pressure
             # (a prefetch has no waiter, so no response is owed).
             self.stats.bump("prefetches_dropped")
@@ -119,10 +128,10 @@ class Iommu:
             return
         # Same-key requests already queued are merged at dispatch time.
         self._pending.append(request)
-        if self.tracer.enabled and not request.prefetch:
+        if self._trace_on and not request.prefetch:
             self.tracer.phase(request.pasid, request.vpn, "pw_queue")
         self.stats.observe("pw_queue_depth", len(self._pending))
-        if len(self._pending) > self.config.pw_queue_entries:
+        if len(self._pending) > self._pw_queue_entries:
             self.stats.bump("pw_queue_overflows")
         self._dispatch()
 
@@ -130,7 +139,7 @@ class Iommu:
 
     def _dispatch(self) -> None:
         while self._free_ptws > 0 and self._pending:
-            if self.config.coalescing_aware_scheduling and self.barre_enabled:
+            if self._coal_sched:
                 request = select_next(self._pending, self._walking.keys(),
                                       self.pec.pec_buffer, tracer=self.tracer)
             else:
@@ -138,15 +147,15 @@ class Iommu:
             walk = self._walking.get(request.key)
             if walk is not None:
                 walk.requests.append(request)
-                self.stats.bump("walk_merges")
-                if self.tracer.enabled and not request.prefetch:
+                self._counters["walk_merges"] += 1
+                if self._trace_on and not request.prefetch:
                     self.tracer.phase(request.pasid, request.vpn, "walk_merge")
                 continue
             self._walking[request.key] = _WalkState(
                 pasid=request.pasid, vpn=request.vpn, requests=[request])
             self._free_ptws -= 1
-            self.stats.bump("walks")
-            if self.tracer.enabled and not request.prefetch:
+            self._counters["walks"] += 1
+            if self._trace_on and not request.prefetch:
                 self.tracer.phase(request.pasid, request.vpn, "walk")
             self.queue.schedule(self._walk_latency(request),
                                 lambda key=request.key: self._walk_done(key))
@@ -165,7 +174,7 @@ class Iommu:
             # (the driver maps the page — or, under Barre, its whole
             # coalescing group, Section VI).
             self.stats.bump("page_faults")
-            if self.tracer.enabled:
+            if self._trace_on:
                 self.tracer.phase(walk.pasid, walk.vpn, "page_fault")
             latency = self.fault_handler(walk.pasid, walk.vpn)
             self.queue.schedule(latency, lambda: self._walk_done(key))
@@ -220,14 +229,14 @@ class Iommu:
                 source: str) -> None:
         arrival = self._arrival.pop(id(request), self.queue.now)
         self.stats.observe("processing_time", self.queue.now - arrival)
-        if self.tracer.enabled and not request.prefetch:
+        if self._trace_on and not request.prefetch:
             self.tracer.phase(request.pasid, request.vpn, "reply")
         coal = fields if (fields is not None and fields.coalesced_under(
             self.pec.compact_bitmap)) else None
         desc = None
         if coal is not None:
             desc = self.pec.descriptor_for(request.pasid, request.vpn)
-        self.stats.bump("ats_responses")
+        self._counters["ats_responses"] += 1
         self.respond(AtsResponse(
             pasid=request.pasid, vpn=request.vpn, global_pfn=global_pfn,
             dst_chiplet=request.src_chiplet, source=source, coal=coal,

@@ -28,7 +28,9 @@ class PecLogic:
         self.pec_buffer = pec_buffer
         self.chiplet_bases = chiplet_bases
         self.compact_bitmap = compact_bitmap
-        #: Translation-path tracer (no-op unless the owner enables tracing).
+        #: Translation-path tracer (no-op unless the owner enables tracing;
+        #: assigned after construction, so the setter refreshes the cached
+        #: enabled flag).
         self.tracer = NULL_TRACER
         self.stats = StatSet(name)
         #: Test-only fault injection: added to every calculated PFN.  The
@@ -36,6 +38,15 @@ class PecLogic:
         #: oracle/invariant checker catches a miscalculating PEC datapath
         #: (it must stay 0 in real runs).
         self.inject_pfn_offset = 0
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self._trace_on = tracer.enabled
 
     def descriptor_for(self, pasid: int, vpn: int) -> DataDescriptor | None:
         return self.pec_buffer.lookup(pasid, vpn)
@@ -57,7 +68,7 @@ class PecLogic:
                                     self.chiplet_bases,
                                     compact=self.compact_bitmap)
         self.stats.bump("calculations" if pfn is not None else "rejections")
-        if pfn is not None and self.tracer.enabled:
+        if pfn is not None and self._trace_on:
             self.tracer.phase(pasid, pending_vpn, "pec_calculated")
         if pfn is not None and self.inject_pfn_offset:
             pfn += self.inject_pfn_offset

@@ -43,7 +43,7 @@ MAX_CHIPLETS_EXTENDED = _EXT_BITMAP_BITS
 MAX_MERGED_GROUPS = 1 << _EXT_MERGE_BITS  # stored as count-1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PteFields:
     """Decoded view of a PTE.
 

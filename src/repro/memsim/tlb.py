@@ -20,7 +20,7 @@ from repro.common.stats import StatSet
 from repro.common.trace import NULL_TRACER
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbEntry:
     """One translation held in a TLB."""
 
@@ -50,33 +50,131 @@ class Tlb:
     def __init__(self, config: TlbConfig, name: str = "tlb") -> None:
         self.config = config
         self.stats = StatSet(name)
+        # ``config.sets``/``config.ways`` are derived properties; resolve
+        # them once — lookup() runs on every simulated memory access.
+        self._num_sets = config.sets
+        # Set counts are powers of two in every shipped config; ``vpn & mask``
+        # equals ``vpn % num_sets`` for the nonnegative VPNs we index with.
+        self._set_mask = (self._num_sets - 1
+                          if self._num_sets & (self._num_sets - 1) == 0
+                          else None)
+        self._ways = config.ways
+        self._bump = self.stats.bump
+        # Live view of the counter bag: the hot paths increment it inline
+        # (same Counter object the StatSet reports, so readouts stay exact).
+        self._counters = self.stats.counters
         self._sets: list[OrderedDict[tuple[int, int], TlbEntry]] = [
-            OrderedDict() for _ in range(config.sets)]
+            OrderedDict() for _ in range(self._num_sets)]
         self.on_insert: Callable[[TlbEntry], None] | None = None
         self.on_evict: Callable[[TlbEntry], None] | None = None
         #: Translation-path tracer (no-op by default); ``trace_label``
         #: prefixes the hit/miss phase stamps ("l1", "l2", "iommu_tlb").
-        self.tracer = NULL_TRACER
+        #: Both are assigned through setters that recompile the lookup
+        #: closure, so they may be reassigned any time before the run.
+        self._tracer = NULL_TRACER
+        self._trace_on = False
         self.trace_label = name.split(".", 1)[0]
 
-    def _set_for(self, vpn: int) -> OrderedDict[tuple[int, int], TlbEntry]:
-        return self._sets[vpn % self.config.sets]
+    @property
+    def tracer(self) -> Any:
+        return self._tracer
 
-    def lookup(self, pasid: int, vpn: int) -> TlbEntry | None:
-        """Probe the TLB; refreshes LRU on hit."""
-        entries = self._set_for(vpn)
-        key = (pasid, vpn)
-        entry = entries.get(key)
-        if entry is None:
-            self.stats.bump("misses")
-            if self.tracer.enabled:
-                self.tracer.phase(pasid, vpn, f"{self.trace_label}_miss")
-            return None
-        entries.move_to_end(key)
-        self.stats.bump("hits")
-        if self.tracer.enabled:
-            self.tracer.phase(pasid, vpn, f"{self.trace_label}_hit")
-        return entry
+    @tracer.setter
+    def tracer(self, tracer: Any) -> None:
+        self._tracer = tracer
+        self._trace_on = tracer.enabled
+        self._rebuild_lookup()
+
+    @property
+    def trace_label(self) -> str:
+        return self._trace_label
+
+    @trace_label.setter
+    def trace_label(self, label: str) -> None:
+        self._trace_label = label
+        self._phase_hit = label + "_hit"
+        self._phase_miss = label + "_miss"
+        self._rebuild_lookup()
+
+    def _rebuild_lookup(self) -> None:
+        """Compile ``lookup`` as a per-instance closure.
+
+        The lookup runs on every simulated memory access; binding the set
+        list, counter bag, and tracer state as closure cells removes every
+        ``self`` attribute load from the hit path.  Rebuilt whenever the
+        tracer or trace label changes (both happen only during wiring).
+        The untraced variants drop the trace branches outright and index
+        sets with a mask; the single-set (fully-associative) variant also
+        prebinds the set dict and its LRU splice.  All variants perform
+        the identical probes and counter updates, so stats and traces are
+        bit-identical across them.
+        """
+        sets = self._sets
+        num_sets = self._num_sets
+        set_mask = self._set_mask
+        counters = self._counters
+        trace_on = self._trace_on
+        tracer = self._tracer
+        phase_hit = self._phase_hit
+        phase_miss = self._phase_miss
+
+        if not trace_on and num_sets == 1:
+            entries = sets[0]
+            move_to_end = entries.move_to_end
+
+            def lookup(pasid: int, vpn: int) -> TlbEntry | None:
+                """Probe the TLB; refreshes LRU on hit."""
+                key = (pasid, vpn)
+                # Hits are the common case and a miss triggers a walk
+                # anyway: direct subscript (zero-cost try in 3.11)
+                # beats .get().
+                try:
+                    entry = entries[key]
+                except KeyError:
+                    counters["misses"] += 1
+                    return None
+                move_to_end(key)
+                counters["hits"] += 1
+                return entry
+
+        elif not trace_on and set_mask is not None:
+
+            def lookup(pasid: int, vpn: int) -> TlbEntry | None:
+                """Probe the TLB; refreshes LRU on hit."""
+                entries = sets[vpn & set_mask]
+                key = (pasid, vpn)
+                try:
+                    entry = entries[key]
+                except KeyError:
+                    counters["misses"] += 1
+                    return None
+                entries.move_to_end(key)
+                counters["hits"] += 1
+                return entry
+
+        else:
+
+            def lookup(pasid: int, vpn: int) -> TlbEntry | None:
+                """Probe the TLB; refreshes LRU on hit."""
+                entries = sets[vpn % num_sets]
+                key = (pasid, vpn)
+                try:
+                    entry = entries[key]
+                except KeyError:
+                    counters["misses"] += 1
+                    if trace_on:
+                        tracer.phase(pasid, vpn, phase_miss)
+                    return None
+                entries.move_to_end(key)
+                counters["hits"] += 1
+                if trace_on:
+                    tracer.phase(pasid, vpn, phase_hit)
+                return entry
+
+        self.lookup = lookup
+
+    def _set_for(self, vpn: int) -> OrderedDict[tuple[int, int], TlbEntry]:
+        return self._sets[vpn % self._num_sets]
 
     def probe(self, pasid: int, vpn: int) -> TlbEntry | None:
         """Non-destructive probe: no LRU update, no hit/miss accounting.
@@ -84,21 +182,22 @@ class Tlb:
         Used by coalescing-VPN searches (F-Barre) and peer probes
         (Valkyrie/Least), which must not perturb replacement state.
         """
-        return self._set_for(vpn).get((pasid, vpn))
+        return self._sets[vpn % self._num_sets].get((pasid, vpn))
 
     def insert(self, entry: TlbEntry) -> TlbEntry | None:
         """Install ``entry``; returns the evicted victim, if any."""
-        entries = self._set_for(entry.vpn)
+        key = (entry.pasid, entry.vpn)
+        entries = self._sets[entry.vpn % self._num_sets]
         victim = None
-        if entry.key in entries:
-            entries.pop(entry.key)
-        elif len(entries) >= self.config.ways:
+        if key in entries:
+            entries.pop(key)
+        elif len(entries) >= self._ways:
             _key, victim = entries.popitem(last=False)
-            self.stats.bump("evictions")
+            self._counters["evictions"] += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
-        entries[entry.key] = entry
-        self.stats.bump("inserts")
+        entries[key] = entry
+        self._counters["inserts"] += 1
         if self.on_insert is not None:
             self.on_insert(entry)
         return victim
@@ -133,7 +232,7 @@ class Tlb:
         return [e for s in self._sets for e in s.values()]
 
 
-@dataclass
+@dataclass(slots=True)
 class _MshrSlot:
     waiters: list[Callable[[Any], None]] = field(default_factory=list)
 
@@ -153,6 +252,10 @@ class MshrFile:
     def __init__(self, capacity: int, name: str = "mshr") -> None:
         self.capacity = capacity
         self.stats = StatSet(name)
+        self._bump = self.stats.bump
+        # Live view of the counter bag: the hot paths increment it inline
+        # (same Counter object the StatSet reports, so readouts stay exact).
+        self._counters = self.stats.counters
         self._slots: dict[Any, _MshrSlot] = {}
         self._slot_waiters: list[Callable[[], None]] = []
 
@@ -160,13 +263,13 @@ class MshrFile:
         slot = self._slots.get(key)
         if slot is not None:
             slot.waiters.append(callback)
-            self.stats.bump("merged")
+            self._counters["merged"] += 1
             return "merged"
         if len(self._slots) >= self.capacity:
-            self.stats.bump("stalls")
+            self._counters["stalls"] += 1
             return "full"
         self._slots[key] = _MshrSlot(waiters=[callback])
-        self.stats.bump("allocated")
+        self._counters["allocated"] += 1
         return "primary"
 
     def wait_for_slot(self, retry: Callable[[], None]) -> None:

@@ -311,17 +311,20 @@ class InvariantChecker:
         driver.migrate_page = migrate_page
 
     def _wrap_queue(self) -> None:
-        """Install on the event queue: a structural sweep every N events."""
+        """Install on the event queue: a structural sweep every N events.
+
+        Uses the kernel's ``on_step`` hook; its presence also routes
+        ``run()`` through the instrumented per-step path instead of the
+        uninstrumented fast loop, so checked runs sweep on schedule.
+        """
         queue = self.sim.queue
-        orig_step = queue.step
+        interval = self.sweep_interval
 
-        def step():
-            fired = orig_step()
-            if fired and queue.events_fired % self.sweep_interval == 0:
+        def on_step():
+            if queue.events_fired % interval == 0:
                 self.sweep()
-            return fired
 
-        queue.step = step
+        queue.on_step = on_step
 
     # -- whole-machine sweeps -----------------------------------------------
 

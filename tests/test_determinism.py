@@ -1,0 +1,108 @@
+"""Determinism guards for the hot-path fast paths.
+
+The simulator's contract is full bit-level determinism: the same seeded
+point must produce the same ``SimResult`` serialization and the same
+RecordingTracer span stream, run after run, process after process.  The
+cross-process variant runs with a *different* ``PYTHONHASHSEED``, which
+catches any accidental dependence on ``dict``/``set`` iteration order of
+string-keyed or object-keyed containers that the optimized inner loops
+might have introduced (hash-randomized iteration differs across seeds,
+so order-dependence shows up as a digest mismatch).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.common.trace import write_spans_jsonl
+from repro.experiments import configs
+from repro.experiments.runner import _serialize
+from repro.gpu.mcm import McmGpuSimulator
+from repro.workloads.suite import get_workload
+
+SCALE = 0.05
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _run_point(tmp_path: Path, tag: str) -> tuple[str, str]:
+    """Run the reference point; return (payload sha256, trace sha256)."""
+    sim = McmGpuSimulator(configs.fbarre(), [get_workload("gemv")],
+                          trace_scale=SCALE, trace=True)
+    result = sim.run()
+    payload = json.dumps(_serialize(result))
+    jsonl = write_spans_jsonl(sim.tracer.spans, tmp_path / f"{tag}.jsonl")
+    return (hashlib.sha256(payload.encode()).hexdigest(),
+            hashlib.sha256(jsonl.read_bytes()).hexdigest())
+
+
+_SUBPROCESS_SCRIPT = """
+import hashlib, json, sys, tempfile
+from pathlib import Path
+from repro.common.trace import write_spans_jsonl
+from repro.experiments import configs
+from repro.experiments.runner import _serialize
+from repro.gpu.mcm import McmGpuSimulator
+from repro.workloads.suite import get_workload
+
+sim = McmGpuSimulator(configs.fbarre(), [get_workload("gemv")],
+                      trace_scale={scale}, trace=True)
+result = sim.run()
+payload = json.dumps(_serialize(result))
+with tempfile.TemporaryDirectory() as tmp:
+    jsonl = write_spans_jsonl(sim.tracer.spans, Path(tmp) / "spans.jsonl")
+    trace_sha = hashlib.sha256(jsonl.read_bytes()).hexdigest()
+print(hashlib.sha256(payload.encode()).hexdigest())
+print(trace_sha)
+"""
+
+
+def test_same_point_twice_in_process(tmp_path: Path) -> None:
+    """Two back-to-back runs in one interpreter are bit-identical."""
+    first = _run_point(tmp_path, "first")
+    second = _run_point(tmp_path, "second")
+    assert first[0] == second[0], (
+        "SimResult serialization differs between two in-process runs of "
+        "the same seeded point — residual mutable state leaks between "
+        "simulator instances, or iteration order of a shared structure "
+        "is consumed by the stats path")
+    assert first[1] == second[1], (
+        "RecordingTracer JSONL differs between two in-process runs — "
+        "the event order itself is nondeterministic")
+
+
+def test_same_point_across_processes_with_fresh_hash_seed(
+        tmp_path: Path) -> None:
+    """A subprocess with a different PYTHONHASHSEED reproduces the digests.
+
+    str/bytes hashing is salted per process, so any stats or event path
+    that iterates a string-keyed dict in hash order (rather than
+    insertion order) or a set of tuples will diverge here.
+    """
+    local = _run_point(tmp_path, "local")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC)
+    # Force a hash seed that differs from this process's (randomized or
+    # not): any salted-hash-order dependence now changes iteration order.
+    env["PYTHONHASHSEED"] = "271828"
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT.format(scale=SCALE)],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert proc.returncode == 0, (
+        f"subprocess run failed:\n{proc.stderr}")
+    sub_payload_sha, sub_trace_sha = proc.stdout.split()
+
+    assert sub_payload_sha == local[0], (
+        "SimResult serialization differs across processes with different "
+        "PYTHONHASHSEED — some consumed ordering depends on salted "
+        "str/object hashes (use sorted() or insertion-ordered dicts)")
+    assert sub_trace_sha == local[1], (
+        "trace JSONL differs across processes with different "
+        "PYTHONHASHSEED — event scheduling consumed a hash-ordered "
+        "container")

@@ -101,3 +101,175 @@ def test_step_returns_false_when_empty():
     q.schedule(1, lambda: None)
     assert q.step() is True
     assert q.events_fired == 1
+
+
+def test_zero_delay_chain_interleaves_with_heap_events_at_same_cycle():
+    """Heap events at the current cycle precede zero-delay chains.
+
+    a and b are both scheduled (earlier) for cycle 5; a schedules c with
+    delay 0 while firing.  (time, sequence) order demands a, b, c.
+    """
+    q = EventQueue()
+    order = []
+
+    def a():
+        order.append("a")
+        q.schedule(0, lambda: order.append("c"))
+
+    q.schedule(5, a)
+    q.schedule(5, lambda: order.append("b"))
+    q.run()
+    assert order == ["a", "b", "c"]
+    assert q.now == 5
+
+
+def test_zero_delay_events_fire_in_schedule_order():
+    q = EventQueue()
+    order = []
+
+    def spawn():
+        for tag in range(4):
+            q.schedule(0, lambda t=tag: order.append(t))
+
+    q.schedule(3, spawn)
+    q.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_zero_delay_same_order_under_step_and_run():
+    def build():
+        q = EventQueue()
+        order = []
+
+        def a():
+            order.append(("a", q.now))
+            q.schedule(0, lambda: order.append(("c", q.now)))
+            q.schedule(2, lambda: order.append(("d", q.now)))
+
+        q.schedule(1, a)
+        q.schedule(1, lambda: order.append(("b", q.now)))
+        return q, order
+
+    q_run, order_run = build()
+    q_run.run()
+    q_step, order_step = build()
+    while q_step.step():
+        pass
+    assert order_run == order_step == [
+        ("a", 1), ("b", 1), ("c", 1), ("d", 3)]
+
+
+def test_fractional_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError, match="whole number"):
+        q.schedule(0.5, lambda: None)
+    with pytest.raises(SimulationError, match="whole number"):
+        q.schedule_at(q.now + 2.5, lambda: None)
+    assert q.pending == 0
+
+
+def test_integral_float_and_index_delays_accepted():
+    class NumpyishInt:
+        def __index__(self):
+            return 3
+
+    q = EventQueue()
+    fired = []
+    q.schedule(2.0, lambda: fired.append(q.now))
+    q.schedule(NumpyishInt(), lambda: fired.append(q.now))
+    q.run()
+    assert fired == [2, 3]
+
+
+def test_non_numeric_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError, match="whole number"):
+        q.schedule("5", lambda: None)
+
+
+def test_cancel_pending_event():
+    q = EventQueue()
+    fired = []
+    keep = q.schedule(5, lambda: fired.append("keep"))
+    drop = q.schedule(5, lambda: fired.append("drop"))
+    assert q.cancel(drop) is True
+    assert q.pending == 1
+    q.run()
+    assert fired == ["keep"]
+    assert q.events_fired == 1
+    assert keep != drop
+
+
+def test_cancel_zero_delay_event():
+    q = EventQueue()
+    fired = []
+    q.schedule(0, lambda: fired.append("keep"))
+    drop = q.schedule(0, lambda: fired.append("drop"))
+    q.cancel(drop)
+    q.run()
+    assert fired == ["keep"]
+
+
+def test_cancel_twice_returns_false():
+    q = EventQueue()
+    handle = q.schedule(1, lambda: None)
+    assert q.cancel(handle) is True
+    assert q.cancel(handle) is False
+
+
+def test_cancel_unknown_handle_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError, match="unknown event handle"):
+        q.cancel(99)
+    with pytest.raises(SimulationError, match="unknown event handle"):
+        q.cancel("nope")
+
+
+def test_cancelled_head_does_not_stall_run_until():
+    """run(until=...) must look past dead entries for the next live time."""
+    q = EventQueue()
+    fired = []
+    dead = q.schedule(4, lambda: fired.append("dead"))
+    q.schedule(8, lambda: fired.append("live"))
+    q.cancel(dead)
+    q.run(until=6)
+    assert fired == []
+    assert q.now == 6
+    assert q.pending == 1
+    q.run()
+    assert fired == ["live"]
+
+
+def test_cancelled_events_do_not_count_toward_max_events():
+    q = EventQueue()
+    fired = []
+    handles = [q.schedule(1, lambda t=tag: fired.append(t))
+               for tag in range(4)]
+    q.cancel(handles[0])
+    q.cancel(handles[2])
+    q.run(max_events=2)  # exactly the two live events: not an error
+    assert fired == [1, 3]
+    assert q.events_fired == 2
+
+
+def test_on_step_hook_fires_per_event():
+    q = EventQueue()
+    ticks = []
+    q.on_step = lambda: ticks.append(q.events_fired)
+    for tag in range(3):
+        q.schedule(tag, lambda: None)
+    q.run()
+    assert ticks == [1, 2, 3]
+
+
+def test_events_fired_flushed_when_callback_raises():
+    q = EventQueue()
+
+    def boom():
+        raise RuntimeError("handler exploded")
+
+    q.schedule(1, lambda: None)
+    q.schedule(2, boom)
+    with pytest.raises(RuntimeError):
+        q.run()
+    assert q.events_fired == 2
