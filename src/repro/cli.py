@@ -27,6 +27,7 @@ from repro.experiments import (
 )
 from repro.experiments.registry import FIGURES, figure_points, run_figure
 from repro.experiments.runner import run_point, speedups, suite_results
+from repro.experiments.sweep import SCHEDULERS as SWEEP_SCHEDULERS
 from repro.experiments.sweep import SweepPoint, sweep
 from repro.workloads.suite import APP_ORDER, CATEGORY_OF
 
@@ -84,7 +85,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--scale", type=float, default=None,
                            help="trace scale (default: REPRO_BENCH_SCALE)")
     sweep_cmd.add_argument("--dry-run", action="store_true",
-                           help="plan only: count cached vs missing points")
+                           help="plan only: count cached vs missing points "
+                                "and print the cost-model schedule")
+    sweep_cmd.add_argument("--scheduler", choices=SWEEP_SCHEDULERS,
+                           default=None,
+                           help="miss scheduler (default: REPRO_SCHEDULER "
+                                "or affinity)")
 
     trace = sub.add_parser(
         "trace", help="trace one point's translation path and export spans")
@@ -190,8 +196,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             "nothing to sweep; pass --schemes/--apps, --figures, "
             "or --warm-cache")
-    outcome = sweep(points, jobs=args.jobs, dry_run=args.dry_run)
+    outcome = sweep(points, jobs=args.jobs, dry_run=args.dry_run,
+                    scheduler=args.scheduler)
     print(f"[sweep] {outcome.stats.describe(dry_run=args.dry_run)}")
+    if args.dry_run and outcome.plan:
+        print("[sweep] cost-model schedule (per-worker queues, "
+              "longest-first):")
+        for pp in outcome.plan:
+            print(f"  worker {pp.worker}: {pp.est_seconds:7.2f}s "
+                  f"({pp.source:12s}) {pp.label()}")
     return 0
 
 

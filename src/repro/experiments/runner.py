@@ -54,8 +54,16 @@ _RESULT_FIELDS = [f.name for f in dataclasses.fields(SimResult)
 #: each warns once and then behaves like ``REPRO_NO_CACHE``.
 _UNWRITABLE: set[str] = set()
 
-#: Poll interval while waiting on another worker's lockfile.
-_LOCK_POLL_S = 0.05
+#: Lockfile wait: capped exponential backoff, so a large fleet of losers
+#: parked on one hot key doesn't hammer ``stat()`` on the shared cache
+#: directory.  Starts fast (the common case is a near-finished winner) and
+#: settles at the cap for long simulations.
+_LOCK_POLL_INITIAL_S = 0.002
+_LOCK_POLL_MAX_S = 0.25
+
+#: Sidecar (under the cache root) of measured per-point wall-times, which
+#: the sweep scheduler reads to submit misses longest-first.
+_TIMINGS_SIDECAR = Path("meta") / "timings.json"
 
 
 def bench_scale() -> float:
@@ -118,14 +126,32 @@ def point_key(config: SimConfig, abbr: str, scale: float,
                      f"{scale:.4f}", workload_tag])
 
 
+def point_digest(key: str) -> str:
+    """Short stable digest of a point key (cache filenames, sidecar keys)."""
+    return hashlib.sha256(key.encode()).hexdigest()[:24]
+
+
 def _point_path(config: SimConfig, app: str, scale: float,
                 workload_tag: str) -> Path | None:
     root = _cache_dir()
     if root is None:
         return None
-    key = point_key(config, app, scale, workload_tag)
-    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    digest = point_digest(point_key(config, app, scale, workload_tag))
     return root / f"{app.replace('+', '_')}-{digest}.json"
+
+
+def point_path(config: SimConfig, app: str | Workload,
+               scale: float | None = None,
+               workload_tag: str = "") -> Path | None:
+    """Canonical cache file of a point, or None when caching is off.
+
+    The sweep engine's thin wire protocol checks this after a worker
+    simulates: when the file exists the worker ships only the key and its
+    timing, and the parent loads the result from disk.
+    """
+    scale = bench_scale() if scale is None else scale
+    abbr = app if isinstance(app, str) else app.abbr
+    return _point_path(config, abbr, scale, workload_tag)
 
 
 def _serialize(result: SimResult) -> dict:
@@ -167,9 +193,10 @@ def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResul
        worker per key wins;
     3. the winner re-checks the cache (it may have been filled while racing
        for the lock), simulates, atomically publishes, removes the lock;
-    4. losers poll until the lock disappears, then read the winner's file.
-       A lock older than ``REPRO_LOCK_STALE`` seconds with no result is
-       presumed to belong to a crashed worker and is stolen.
+    4. losers wait with capped exponential backoff until the lock
+       disappears, then read the winner's file.  A lock older than
+       ``REPRO_LOCK_STALE`` seconds with no result is presumed to belong
+       to a crashed worker and is stolen.
     """
     if path is None:
         return compute()
@@ -182,12 +209,14 @@ def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResul
         try:
             fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
+            delay = _LOCK_POLL_INITIAL_S
             while lock.exists() and not path.exists():
                 with contextlib.suppress(FileNotFoundError):
                     if time.time() - lock.stat().st_mtime > _lock_stale_s():
                         lock.unlink(missing_ok=True)
                         break
-                time.sleep(_LOCK_POLL_S)
+                time.sleep(delay)
+                delay = min(delay * 2, _LOCK_POLL_MAX_S)
             if path.exists():
                 return _load(path)
             continue  # lock released or stolen but no result: try to acquire
@@ -200,6 +229,52 @@ def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResul
             return result
         finally:
             lock.unlink(missing_ok=True)
+
+
+# --------------------------------------------------------------------------
+# Cost-model sidecar: measured per-point wall-times
+# --------------------------------------------------------------------------
+
+def load_timings() -> dict[str, dict]:
+    """The wall-time sidecar: ``point_digest -> {"app", "seconds"}``.
+
+    Returns {} when caching is off or nothing has been recorded.  The
+    sweep scheduler uses these to order misses longest-first (falling
+    back to per-app medians for points never simulated on this machine).
+    """
+    root = _cache_dir()
+    if root is None:
+        return {}
+    try:
+        payload = json.loads((root / _TIMINGS_SIDECAR).read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return payload if isinstance(payload, dict) else {}
+
+
+def record_timings(entries) -> None:
+    """Merge measured ``(key, abbr, seconds)`` wall-times into the sidecar.
+
+    Read-merge-replace with an atomic rename: concurrent sweeps can lose
+    each other's updates (last write wins) but never corrupt the file —
+    the sidecar is a scheduling hint, not a source of truth.
+    """
+    entries = list(entries)
+    if not entries or _cache_dir(create=True) is None:
+        return
+    root = _cache_dir()
+    path = root / _TIMINGS_SIDECAR
+    merged = load_timings()
+    for key, abbr, seconds in entries:
+        merged[point_digest(key)] = {"app": abbr,
+                                     "seconds": round(float(seconds), 4)}
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(merged, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a read-only cache degrades to unordered scheduling
 
 
 # --------------------------------------------------------------------------

@@ -1,21 +1,34 @@
-"""Parallel sweep engine: fan (config, app) simulation points over processes.
+"""Throughput-oriented sweep scheduler: fan (config, app) points over workers.
 
 Every paper figure reduces to a set of independent (config, app, scale)
 simulation points — embarrassingly parallel work that the serial harness
 paid for one core at a time.  :func:`sweep` takes an iterable of
 :class:`SweepPoint`, deduplicates them against the on-disk result cache,
-and fans the misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-(worker count from ``REPRO_JOBS``, default ``os.cpu_count()``).
+and schedules the misses across worker processes.  Three schedulers
+(``REPRO_SCHEDULER`` or the ``scheduler`` argument):
 
-Guarantees:
+* **affinity** (default) — per-worker queues: points sharing an
+  (app, scale, seed) group are routed to one worker so its CTA-trace memo
+  (:data:`repro.gpu.mcm.TRACE_MEMO`) is hit for every config after the
+  first, with work stealing so idle workers drain other queues.  Workers
+  publish through the runner's atomic cache write and ship back only the
+  point's timing — the parent loads results from disk (the full payload
+  travels over the pipe only when the cache is off or unwritable).
+* **flat** — the legacy ``ProcessPoolExecutor`` fan-out, full payloads
+  pickled back; kept as the A/B comparison baseline and fallback.
+* **serial** — in-process, no worker pool (also used automatically for
+  ``jobs=1`` or a single miss).
 
-* **Determinism** — a worker executes the very same ``run_point`` as an
-  in-process call (same seeded RNG from ``SimConfig.seed``, same
-  ``SIM_VERSION`` cache keying), so a pool-produced result is bit-identical
-  to a serial one.
-* **Stampede safety** — the runner's per-key lockfile plus atomic
-  write-to-temp/rename means two workers racing on one key simulate it
-  once and never publish a torn file (see ``runner._fill_point``).
+All three produce bit-identical results (same seeded RNG from
+``SimConfig.seed``, same ``SIM_VERSION`` cache keying, same atomic cache
+files — asserted by ``tests/test_sweep.py`` against the golden-run
+digests).
+
+Cost-model scheduling: measured per-point wall-times persist in a sidecar
+under the result cache (``runner.load_timings``).  Misses are submitted
+longest-first — greedy LPT packing, so one slow high-MPKI straggler no
+longer dictates the batch tail — and ``repro sweep --dry-run`` prints the
+planned order.
 
 Prewarming: :func:`collect_points` runs an experiment function in the
 runner's collection mode — ``run_point``/``run_pair`` record their would-be
@@ -26,16 +39,31 @@ discovered up front and submitted as one batch (see
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import statistics
 import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from queue import Empty
 
 from repro.common.config import SimConfig
 from repro.experiments import runner
+from repro.gpu import mcm
 from repro.gpu.mcm import SimResult
 from repro.workloads.base import Workload
+
+#: Recognized scheduler names (``REPRO_SCHEDULER`` / ``scheduler=``).
+SCHEDULERS = ("affinity", "flat", "serial")
+
+#: Per-point cost guess (seconds) when the sidecar has no data at all —
+#: only the *relative* order matters, so any constant works.
+_DEFAULT_COST = 1.0
+
+#: Idle worker nap between steal rounds (all queues momentarily empty).
+_STEAL_POLL_S = 0.005
 
 
 @dataclass(frozen=True, eq=False)
@@ -69,6 +97,32 @@ class SweepPoint:
         return runner.point_key(self.config, self.abbr,
                                 self.resolved_scale(), self.tag)
 
+    def group(self) -> tuple:
+        """Affinity group: points whose CTA traces are memo-shareable.
+
+        Matches the domain of ``mcm.build_cta_traces``'s memo key — same
+        app/tag, trace scale, and seed — without the config, so every
+        configuration of one app lands in one group.
+        """
+        return (self.abbr, self.tag, f"{self.resolved_scale():.4f}",
+                self.config.seed)
+
+
+@dataclass
+class PlannedPoint:
+    """One cache miss with its cost estimate and worker assignment."""
+
+    key: str
+    point: SweepPoint
+    est_seconds: float
+    source: str            #: "measured" | "app-median" | "suite-median" | "default"
+    worker: int = 0
+
+    def label(self) -> str:
+        p = self.point
+        tag = f" [{p.tag}]" if p.tag else ""
+        return f"{p.abbr}/{p.config.backend.value}{tag} @{p.resolved_scale():g}"
+
 
 @dataclass
 class SweepStats:
@@ -78,15 +132,23 @@ class SweepStats:
     unique: int = 0         #: distinct cache keys
     cached: int = 0         #: served from the on-disk cache
     simulated: int = 0      #: actually run (0 on a dry run)
-    jobs: int = 1           #: worker count used for the misses
+    jobs: int = 1           #: worker count actually used for the misses
     elapsed: float = 0.0    #: wall-clock seconds
+    memo_hits: int = 0      #: CTA-trace memo hits across all workers
+    memo_misses: int = 0    #: CTA-trace memo misses across all workers
+    #: Measured wall-time of every simulated miss, by cache key.
+    point_seconds: dict[str, float] = field(default_factory=dict)
 
     def describe(self, dry_run: bool = False) -> str:
         verb = "to simulate (dry run)" if dry_run else "simulated"
         n = self.unique - self.cached if dry_run else self.simulated
-        return (f"{self.total} points ({self.unique} unique): "
+        line = (f"{self.total} points ({self.unique} unique): "
                 f"{self.cached} cached, {n} {verb}, "
                 f"jobs={self.jobs}, {self.elapsed:.1f}s")
+        if self.memo_hits or self.memo_misses:
+            line += (f", trace-memo {self.memo_hits} hits / "
+                     f"{self.memo_misses} misses")
+        return line
 
 
 @dataclass
@@ -95,6 +157,10 @@ class SweepOutcome:
 
     results: list[SimResult | None] = field(default_factory=list)
     stats: SweepStats = field(default_factory=SweepStats)
+    #: The cost-model schedule of the misses, in execution order (each
+    #: worker's queue longest-first).  Populated whenever there were
+    #: misses, including dry runs — ``repro sweep --dry-run`` prints it.
+    plan: list[PlannedPoint] = field(default_factory=list)
 
 
 def default_jobs() -> int:
@@ -105,6 +171,29 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def default_scheduler() -> str:
+    """Scheduler name: ``REPRO_SCHEDULER`` if set, else ``affinity``."""
+    name = os.environ.get("REPRO_SCHEDULER", "").strip() or "affinity"
+    if name not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {name!r} "
+                         f"(choose from {', '.join(SCHEDULERS)})")
+    return name
+
+
+def _pool_width(jobs: int, misses: int) -> int:
+    """Worker processes for a pool: ``min(jobs, misses)``, clamped to cores.
+
+    A simulation point is CPU-bound pure Python, so workers beyond the
+    core count only add context switching and memory pressure (measured
+    ~1.2x slower at ``REPRO_JOBS=4`` on one core).  Set
+    ``REPRO_OVERSUBSCRIBE=1`` to force the literal ``REPRO_JOBS`` width.
+    """
+    width = min(jobs, misses)
+    if not os.environ.get("REPRO_OVERSUBSCRIBE"):
+        width = min(width, os.cpu_count() or width)
+    return max(1, width)
+
+
 def _run_inline(point: SweepPoint) -> SimResult:
     if point.pair_with:
         return runner.run_pair(point.config, point.app, point.pair_with,
@@ -113,17 +202,73 @@ def _run_inline(point: SweepPoint) -> SimResult:
                             point.workload_tag)
 
 
-def _simulate_point(point: SweepPoint) -> dict:
-    """Worker entry: simulate (filling the cache) and ship the result back.
+# --------------------------------------------------------------------------
+# Cost model
+# --------------------------------------------------------------------------
 
-    Returns the serialized payload rather than the object so the parent
-    sees exactly what a cache hit would see, cache or no cache.
+def plan_misses(misses: list[tuple[str, SweepPoint]],
+                workers: int) -> list[PlannedPoint]:
+    """Cost-model schedule: estimate, group by affinity, pack longest-first.
+
+    Estimates come from the runner's wall-time sidecar (exact where this
+    point has run before, per-app median otherwise).  Affinity groups are
+    sorted by total cost and greedily assigned to the least-loaded worker
+    (LPT packing); within a worker the queue is group-contiguous — so the
+    trace memo stays hot — with costlier groups and points first.  The
+    returned list is the concatenation of the workers' queues.
     """
-    return runner._serialize(_run_inline(point))
+    timings = runner.load_timings()
+    by_app: dict[str, list[float]] = {}
+    for entry in timings.values():
+        by_app.setdefault(entry["app"], []).append(float(entry["seconds"]))
+    app_median = {app: statistics.median(v) for app, v in by_app.items()}
+    overall = (statistics.median([s for v in by_app.values() for s in v])
+               if by_app else None)
 
+    planned = []
+    for key, point in misses:
+        entry = timings.get(runner.point_digest(key))
+        if entry is not None:
+            est, source = float(entry["seconds"]), "measured"
+        elif point.abbr in app_median:
+            est, source = app_median[point.abbr], "app-median"
+        elif overall is not None:
+            est, source = overall, "suite-median"
+        else:
+            est, source = _DEFAULT_COST, "default"
+        planned.append(PlannedPoint(key=key, point=point,
+                                    est_seconds=est, source=source))
+
+    groups: dict[tuple, list[PlannedPoint]] = {}
+    for pp in planned:
+        groups.setdefault(pp.point.group(), []).append(pp)
+    for members in groups.values():
+        members.sort(key=lambda pp: -pp.est_seconds)
+    per_worker: list[list[PlannedPoint]] = [[] for _ in range(max(1, workers))]
+    loads = [0.0] * len(per_worker)
+    for members in sorted(groups.values(),
+                          key=lambda m: -sum(pp.est_seconds for pp in m)):
+        w = loads.index(min(loads))
+        for pp in members:
+            pp.worker = w
+        loads[w] += sum(pp.est_seconds for pp in members)
+        per_worker[w].extend(members)
+    return [pp for queue in per_worker for pp in queue]
+
+
+# --------------------------------------------------------------------------
+# Progress line
+# --------------------------------------------------------------------------
 
 class _Progress:
-    """A single live status line on stderr: done / cached / running, ETA."""
+    """A single live status line on stderr: done / cached / running, ETA.
+
+    The ETA multiplies the measured per-miss rate by the *misses still
+    unfinished* only — cache hits are settled before the first update and
+    never inflate it — divided by the workers currently running.  The
+    callers emit a final update after the last miss completes, so the
+    line reaches ``total/total`` instead of freezing one point short.
+    """
 
     def __init__(self, total: int, cached: int, enabled: bool | None = None):
         self.total = total
@@ -136,10 +281,11 @@ class _Progress:
         if not self.enabled or not self.total:
             return
         simulated = done - self.cached
+        misses_left = self.total - done
         eta = ""
-        if simulated > 0 and done < self.total:
+        if simulated > 0 and misses_left > 0:
             rate = (time.perf_counter() - self.start) / simulated
-            eta = f", ETA {rate * (self.total - done):.0f}s"
+            eta = f", ETA {rate * misses_left / max(1, running):.0f}s"
         line = (f"[sweep] {done}/{self.total} points "
                 f"({self.cached} cached, {running} running{eta})")
         sys.stderr.write("\r" + line.ljust(79))
@@ -152,14 +298,171 @@ class _Progress:
             sys.stderr.flush()
 
 
+# --------------------------------------------------------------------------
+# Flat scheduler (legacy ProcessPoolExecutor fan-out)
+# --------------------------------------------------------------------------
+
+def _simulate_point(point: SweepPoint) -> tuple[dict, float, int, int]:
+    """Flat-pool worker entry: simulate and ship the full payload back.
+
+    Returns the serialized payload (plus timing and trace-memo deltas)
+    rather than the object so the parent sees exactly what a cache hit
+    would see, cache or no cache.
+    """
+    memo = mcm.TRACE_MEMO
+    hits, misses = memo.hits, memo.misses
+    start = time.perf_counter()
+    payload = runner._serialize(_run_inline(point))
+    return (payload, time.perf_counter() - start,
+            memo.hits - hits, memo.misses - misses)
+
+
+def _run_flat(plan: list[PlannedPoint], workers: int, reporter: _Progress,
+              results: dict, stats: SweepStats) -> None:
+    cached = stats.cached
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_simulate_point, pp.point): pp for pp in plan}
+        reporter.update(cached, running=len(futures))
+        done = 0
+        for future in as_completed(futures):
+            pp = futures[future]
+            payload, seconds, memo_hits, memo_misses = future.result()
+            results[pp.key] = runner._deserialize(payload)
+            stats.point_seconds[pp.key] = seconds
+            stats.memo_hits += memo_hits
+            stats.memo_misses += memo_misses
+            done += 1
+            reporter.update(cached + done, running=len(futures) - done)
+
+
+# --------------------------------------------------------------------------
+# Affinity scheduler (per-worker queues + work stealing + thin wire)
+# --------------------------------------------------------------------------
+
+def _affinity_worker(worker_id: int, inboxes: list, result_q,
+                     stop) -> None:
+    """Worker loop: drain the own queue, then steal from the others.
+
+    Each inbox item is ``(index, point)``; each result is ``(index,
+    payload_or_None, seconds, memo_hits, memo_misses, error_or_None)``.
+    The worker publishes through the runner's cache (``_run_inline`` →
+    ``run_point`` → atomic write) and ships ``payload=None`` when the
+    cache file landed — the parent loads it from disk — falling back to
+    the full payload under ``REPRO_NO_CACHE`` or an unwritable cache.
+    """
+    order = [worker_id] + [i for i in range(len(inboxes)) if i != worker_id]
+    memo = mcm.TRACE_MEMO
+    while not stop.is_set():
+        item = None
+        for source in order:
+            try:
+                item = inboxes[source].get_nowait()
+                break
+            except Empty:
+                continue
+        if item is None:
+            time.sleep(_STEAL_POLL_S)
+            continue
+        index, point = item
+        hits, misses = memo.hits, memo.misses
+        start = time.perf_counter()
+        try:
+            result = _run_inline(point)
+            seconds = time.perf_counter() - start
+            path = runner.point_path(point.config, point.app, point.scale,
+                                     point.tag)
+            payload = None
+            if path is None or not path.exists():
+                payload = runner._serialize(result)
+            result_q.put((index, payload, seconds,
+                          memo.hits - hits, memo.misses - misses, None))
+        except Exception:
+            result_q.put((index, None, 0.0, 0, 0, traceback.format_exc()))
+
+
+def _drain(q) -> None:
+    try:
+        while True:
+            q.get_nowait()
+    except (Empty, OSError):
+        pass
+
+
+def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
+                  results: dict, stats: SweepStats) -> None:
+    ctx = multiprocessing.get_context()
+    inboxes = [ctx.Queue() for _ in range(workers)]
+    result_q = ctx.Queue()
+    stop = ctx.Event()
+    for index, pp in enumerate(plan):
+        inboxes[pp.worker].put((index, pp.point))
+    procs = [ctx.Process(target=_affinity_worker,
+                         args=(w, inboxes, result_q, stop), daemon=True)
+             for w in range(workers)]
+    for proc in procs:
+        proc.start()
+    cached = stats.cached
+    pending = len(plan)
+    reporter.update(cached, running=min(workers, pending))
+    try:
+        while pending:
+            try:
+                (index, payload, seconds, memo_hits, memo_misses,
+                 error) = result_q.get(timeout=0.25)
+            except Empty:
+                crashed = [p for p in procs if p.exitcode not in (None, 0)]
+                if crashed:
+                    raise RuntimeError(
+                        f"sweep worker crashed (exitcode "
+                        f"{crashed[0].exitcode}) with {pending} points left")
+                continue
+            pp = plan[index]
+            if error is not None:
+                raise RuntimeError(
+                    f"sweep worker failed on {pp.label()}:\n{error}")
+            if payload is not None:
+                results[pp.key] = runner._deserialize(payload)
+            else:
+                loaded = runner.cached_result(pp.point.config, pp.point.app,
+                                              pp.point.scale, pp.point.tag)
+                if loaded is None:
+                    raise RuntimeError(
+                        f"worker published {pp.label()} but the cache has "
+                        f"no result (cache directory removed mid-sweep?)")
+                results[pp.key] = loaded
+            stats.point_seconds[pp.key] = seconds
+            stats.memo_hits += memo_hits
+            stats.memo_misses += memo_misses
+            pending -= 1
+            reporter.update(cached + len(plan) - pending,
+                            running=min(workers, pending))
+    finally:
+        stop.set()
+        for proc in procs:
+            proc.join(timeout=10)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for q in [*inboxes, result_q]:
+            _drain(q)
+            q.close()
+
+
+# --------------------------------------------------------------------------
+# The sweep entry point
+# --------------------------------------------------------------------------
+
 def sweep(points, jobs: int | None = None, progress: bool | None = None,
-          dry_run: bool = False) -> SweepOutcome:
-    """Deduplicate ``points`` against the cache and fan the misses out.
+          dry_run: bool = False, scheduler: str | None = None) -> SweepOutcome:
+    """Deduplicate ``points`` against the cache and schedule the misses.
 
     Returns results in submission order (duplicates each get the shared
     result).  ``jobs=None`` uses :func:`default_jobs`; ``progress=None``
-    draws the live line only on a TTY.  ``dry_run=True`` plans without
-    simulating — missing points come back as ``None``.
+    draws the live line only on a TTY; ``scheduler=None`` uses
+    :func:`default_scheduler`.  ``dry_run=True`` plans without simulating
+    — missing points come back as ``None`` with the cost-model schedule
+    in ``outcome.plan``.
     """
     points = list(points)
     if runner.is_collecting():
@@ -170,6 +473,10 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
             total=len(points), unique=len(points)))
     start = time.perf_counter()
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    scheduler = default_scheduler() if scheduler is None else scheduler
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {scheduler!r} "
+                         f"(choose from {', '.join(SCHEDULERS)})")
     keys = [p.key() for p in points]
     unique: dict[str, SweepPoint] = {}
     for key, point in zip(keys, points):
@@ -184,34 +491,47 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
         else:
             results[key] = hit
     cached = len(results)
+    stats = SweepStats(total=len(points), unique=len(unique), cached=cached)
+    plan: list[PlannedPoint] = []
     reporter = _Progress(len(unique), cached, enabled=progress)
-    simulated = 0
     if dry_run:
+        plan = plan_misses(misses, _pool_width(jobs, len(misses) or 1))
         for key, _ in misses:
             results[key] = None
     elif misses:
-        simulated = len(misses)
-        if jobs == 1 or len(misses) == 1:
-            for i, (key, point) in enumerate(misses):
-                reporter.update(cached + i, running=1)
-                results[key] = _run_inline(point)
+        stats.simulated = len(misses)
+        workers = _pool_width(jobs, len(misses))
+        # A one-worker pool is strictly worse than running inline (same
+        # serial order, plus process spawn and result IPC) — so the core
+        # clamp on a small machine degrades to the serial path.
+        if scheduler == "serial" or workers == 1 or len(misses) == 1:
+            plan = plan_misses(misses, workers=1)
+            memo = mcm.TRACE_MEMO
+            reporter.update(cached, running=1)
+            done = 0
+            for pp in plan:
+                hits, memo_misses = memo.hits, memo.misses
+                t0 = time.perf_counter()
+                results[pp.key] = _run_inline(pp.point)
+                stats.point_seconds[pp.key] = time.perf_counter() - t0
+                stats.memo_hits += memo.hits - hits
+                stats.memo_misses += memo.misses - memo_misses
+                done += 1
+                reporter.update(cached + done,
+                                running=int(done < len(plan)))
         else:
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(misses))) as pool:
-                futures = {pool.submit(_simulate_point, point): key
-                           for key, point in misses}
-                reporter.update(cached, running=len(futures))
-                done = 0
-                for future in as_completed(futures):
-                    results[futures[future]] = runner._deserialize(
-                        future.result())
-                    done += 1
-                    reporter.update(cached + done, running=len(misses) - done)
+            stats.jobs = workers
+            plan = plan_misses(misses, workers)
+            if scheduler == "flat":
+                _run_flat(plan, workers, reporter, results, stats)
+            else:
+                _run_affinity(plan, workers, reporter, results, stats)
+        runner.record_timings(
+            (pp.key, pp.point.abbr, stats.point_seconds[pp.key])
+            for pp in plan if pp.key in stats.point_seconds)
     reporter.finish()
-    stats = SweepStats(total=len(points), unique=len(unique), cached=cached,
-                       simulated=simulated, jobs=jobs,
-                       elapsed=time.perf_counter() - start)
-    return SweepOutcome([results[key] for key in keys], stats)
+    stats.elapsed = time.perf_counter() - start
+    return SweepOutcome([results[key] for key in keys], stats, plan)
 
 
 def collect_points(fn, *args, **kwargs) -> list[SweepPoint]:

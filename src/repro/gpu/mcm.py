@@ -12,6 +12,8 @@ are ratios of ``SimResult.cycles``.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -141,19 +143,106 @@ def allocate_workloads(driver: GpuDriver, workloads: Sequence[Workload],
                 driver.malloc(request)
 
 
+class _TraceMemo:
+    """Per-process LRU over the config-independent half of trace generation.
+
+    One entry per :func:`cta_trace_key` — exactly the inputs of
+    :func:`build_cta_traces`.  A sweep worker that simulates several
+    configurations of one app (the affinity scheduler routes them to the
+    same process) generates the app's CTA offset arrays once and replays
+    them for every config.  ``REPRO_TRACE_MEMO`` sets the entry count
+    (default 32; ``0`` disables memoization).  Entries are shared across
+    simulations and must never be mutated — nothing downstream does (the
+    VPN mapping copies into fresh arrays).
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is None:
+            maxsize = int(os.environ.get("REPRO_TRACE_MEMO", "32"))
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, list] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple):
+        if self.maxsize <= 0:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, value: list) -> None:
+        if self.maxsize <= 0:
+            return
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-wide CTA-trace memo (worker processes each fork their own).
+TRACE_MEMO = _TraceMemo()
+
+
+def cta_trace_key(workloads: Sequence[Workload], seed: int,
+                  trace_scale: float) -> tuple:
+    """Everything CTA generation depends on, and nothing more.
+
+    Workload ``repr`` covers every field that shapes the trace (pattern,
+    footprints, params, pasid, CTA geometry) plus the class name, so a
+    modified or subclassed workload can never collide with the stock one.
+    """
+    return (tuple(repr(w) for w in workloads), seed, round(trace_scale, 6))
+
+
+def build_cta_traces(workloads: Sequence[Workload], seed: int,
+                     trace_scale: float) -> list[list[CtaTrace]]:
+    """The config-independent half of trace generation, memoized.
+
+    Draws every workload's CTAs from a fresh ``default_rng(seed)`` in
+    declaration order — the exact draw order the simulator has always
+    used — so a memo hit is bit-identical to a fresh build (pinned by
+    ``tests/test_golden_runs.py``, whose matrix reuses apps across
+    configs within one process).
+    """
+    key = cta_trace_key(workloads, seed, trace_scale)
+    traces = TRACE_MEMO.lookup(key)
+    if traces is None:
+        rng = np.random.default_rng(seed)
+        traces = [w.build_ctas(rng, trace_scale) for w in workloads]
+        TRACE_MEMO.store(key, traces)
+    return traces
+
+
 def build_access_trace(config: SimConfig, workloads: Sequence[Workload],
-                       driver: GpuDriver, rng: np.random.Generator,
-                       page_scale: int,
+                       driver: GpuDriver, page_scale: int,
                        trace_scale: float) -> list[list[list[TraceAccess]]]:
     """Per-chiplet CTA access lists, exactly as the simulator issues them.
 
-    Deterministic in (config.seed via ``rng``, workloads, trace_scale): the
-    simulator and the reference translator both call this, so the oracle
-    replays the very same access stream the timing simulation runs.
+    Two halves: the config-independent CTA offset arrays — depend only on
+    (workloads, ``config.seed``, ``trace_scale``) and are served from the
+    per-process memo (:func:`build_cta_traces`) — and the per-point VPN
+    mapping below, which depends on the driver's allocations and the
+    mapping policy.  Deterministic in (config.seed, workloads,
+    trace_scale): the simulator and the reference translator both call
+    this, so the oracle replays the very same access stream the timing
+    simulation runs.
     """
     per_chiplet_ctas: list[list[list[TraceAccess]]] = [
         [] for _ in range(config.num_chiplets)]
-    for workload in workloads:
+    all_ctas = build_cta_traces(workloads, config.seed, trace_scale)
+    for workload, ctas in zip(workloads, all_ctas):
         records = [driver.data[(workload.pasid, i)]
                    for i in range(len(workload.data))]
         main = records[workload.main_data]
@@ -162,7 +251,6 @@ def build_access_trace(config: SimConfig, workloads: Sequence[Workload],
         starts = np.array([r.start_vpn for r in records], dtype=np.int64)
         caps = np.array([r.num_pages - 1 for r in records], dtype=np.int64)
         pasid, weight, gap = workload.pasid, workload.weight, workload.gap
-        ctas = workload.build_ctas(rng, trace_scale)
         for cta in ctas:
             chiplet = driver.policy.cta_chiplet(
                 cta.cta_id, workload.num_ctas, main.plan, main.num_pages)
@@ -203,7 +291,6 @@ class McmGpuSimulator:
         #: (see repro.common.trace).  Tracing never schedules events, so a
         #: traced run's SimResult is bit-identical to an untraced one.
         self.tracer = RecordingTracer(self.queue) if trace else NULL_TRACER
-        self.rng = np.random.default_rng(config.seed)
         self.page_scale = config.page_size // PAGE_SIZE_4K
         #: Optional per-access observer ``(chiplet, stream, pasid, vpn, pfn)``
         #: called with every delivered translation (differential harness).
@@ -379,7 +466,7 @@ class McmGpuSimulator:
     def _build_streams(self) -> None:
         cfg = self.config
         per_chiplet_ctas = build_access_trace(
-            cfg, self.workloads, self.driver, self.rng, self.page_scale,
+            cfg, self.workloads, self.driver, self.page_scale,
             self.trace_scale)
         self.streams: list[AccessStream] = []
         self._remaining = 0

@@ -8,9 +8,10 @@ allocation time.  This module computes that function directly.
 It reuses the exact construction helpers the simulator itself uses
 (:func:`repro.gpu.mcm.build_driver`, :func:`~repro.gpu.mcm.allocate_workloads`,
 :func:`~repro.gpu.mcm.build_access_trace`), so the replayed access stream
-is bit-identical to the one the timing simulation issues: the stream
-generator consumes the seeded RNG only during trace building, and a fresh
-``default_rng(config.seed)`` reproduces it exactly.  What the oracle
+is bit-identical to the one the timing simulation issues: trace building
+draws from a fresh ``default_rng(config.seed)`` inside
+``build_cta_traces``, so replaying it here reproduces every access
+exactly (memoized or not).  What the oracle
 *omits* is everything timed — so any disagreement between a simulated
 translation and the oracle is a translation-path bug, never a modelling
 choice.
@@ -20,8 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
-
-import numpy as np
 
 from repro.common.addresses import PAGE_SIZE_4K
 from repro.common.config import SimConfig
@@ -97,8 +96,7 @@ def reference_translation(config: SimConfig, workloads: Sequence[Workload],
     driver = build_driver(config)
     page_scale = config.page_size // PAGE_SIZE_4K
     allocate_workloads(driver, workloads, page_scale)
-    rng = np.random.default_rng(config.seed)
-    per_chiplet_ctas = build_access_trace(config, workloads, driver, rng,
+    per_chiplet_ctas = build_access_trace(config, workloads, driver,
                                           page_scale, trace_scale)
     accesses: list[RefAccess] = []
     translations: dict[tuple[int, int], int] = {}

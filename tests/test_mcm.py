@@ -213,3 +213,75 @@ def test_mpki_reported_reasonably():
                              trace_scale=SCALE).run()
     assert result.mpki > 100  # a high-class app
     assert result.instructions > 0
+
+
+class TestTraceMemo:
+    """CTA-trace memoization: bit-identical reuse, LRU bounds, kill switch."""
+
+    def _fresh(self, monkeypatch, maxsize):
+        from repro.gpu import mcm
+        memo = mcm._TraceMemo(maxsize=maxsize)
+        monkeypatch.setattr(mcm, "TRACE_MEMO", memo)
+        return mcm, memo
+
+    def test_memo_hit_is_bit_identical_to_fresh_build(self, monkeypatch):
+        import numpy as np
+        mcm, memo = self._fresh(monkeypatch, maxsize=8)
+        first = mcm.build_cta_traces([get_workload("fft")], 2024, SCALE)
+        again = mcm.build_cta_traces([get_workload("fft")], 2024, SCALE)
+        assert again is first, "second build must be served from the memo"
+        assert (memo.hits, memo.misses) == (1, 1)
+        mcm, _ = self._fresh(monkeypatch, maxsize=0)   # memo disabled
+        plain = mcm.build_cta_traces([get_workload("fft")], 2024, SCALE)
+        assert len(plain) == len(first) == 1
+        for a, b in zip(first[0], plain[0]):
+            assert a.cta_id == b.cta_id and a.pasid == b.pasid
+            assert np.array_equal(a.data_index, b.data_index)
+            assert np.array_equal(a.page_offset, b.page_offset)
+
+    def test_key_separates_seed_scale_and_workload(self, monkeypatch):
+        mcm, memo = self._fresh(monkeypatch, maxsize=8)
+        mcm.build_cta_traces([get_workload("fft")], 2024, SCALE)
+        mcm.build_cta_traces([get_workload("fft")], 2025, SCALE)
+        mcm.build_cta_traces([get_workload("fft")], 2024, SCALE * 2)
+        mcm.build_cta_traces([get_workload("gemv")], 2024, SCALE)
+        assert (memo.hits, memo.misses) == (0, 4)
+
+    def test_lru_evicts_oldest_at_capacity(self, monkeypatch):
+        mcm, memo = self._fresh(monkeypatch, maxsize=2)
+        apps = ("gemv", "fft", "atax")
+        for app in apps:
+            mcm.build_cta_traces([get_workload(app)], 2024, SCALE)
+        assert len(memo) == 2
+        # gemv (oldest, never re-touched) was evicted; fft/atax are hits.
+        mcm.build_cta_traces([get_workload("atax")], 2024, SCALE)
+        mcm.build_cta_traces([get_workload("fft")], 2024, SCALE)
+        assert memo.hits == 2
+        mcm.build_cta_traces([get_workload("gemv")], 2024, SCALE)
+        assert memo.misses == 4
+
+    def test_env_zero_disables_memoization(self, monkeypatch):
+        from repro.gpu import mcm
+        monkeypatch.setenv("REPRO_TRACE_MEMO", "0")
+        memo = mcm._TraceMemo()
+        assert memo.maxsize == 0
+        memo.store(("key",), [])
+        assert memo.lookup(("key",)) is None
+        assert len(memo) == 0
+        assert (memo.hits, memo.misses) == (0, 0)
+
+    def test_simulation_unchanged_by_memo_reuse(self, monkeypatch):
+        """Two back-to-back simulations (second hits the memo) match one
+        run with the memo disabled — the memo cannot leak state."""
+        from repro.experiments.runner import _serialize
+        from repro.gpu import mcm
+        cfg = configs.baseline()
+        monkeypatch.setattr(mcm, "TRACE_MEMO", mcm._TraceMemo(maxsize=8))
+        McmGpuSimulator(cfg, [get_workload("gemv")], trace_scale=SCALE).run()
+        memo_hit = McmGpuSimulator(cfg, [get_workload("gemv")],
+                                   trace_scale=SCALE).run()
+        assert mcm.TRACE_MEMO.hits >= 1
+        monkeypatch.setattr(mcm, "TRACE_MEMO", mcm._TraceMemo(maxsize=0))
+        plain = McmGpuSimulator(cfg, [get_workload("gemv")],
+                                trace_scale=SCALE).run()
+        assert _serialize(memo_hit) == _serialize(plain)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import re
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -11,17 +13,25 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import configs, figures
+from repro.experiments import runner as runner_mod
 from repro.experiments.runner import (
     _deserialize,
     _serialize,
     cached_result,
+    load_timings,
+    point_digest,
+    record_timings,
     run_point,
     store_point,
 )
 from repro.experiments.sweep import (
+    SCHEDULERS,
     SweepPoint,
+    _pool_width,
+    _Progress,
     collect_points,
     default_jobs,
+    plan_misses,
     sweep,
 )
 from repro.gpu.mcm import McmGpuSimulator
@@ -202,6 +212,200 @@ class TestCachePayloadCompat:
         assert path is not None and path.exists()
         served = cached_result(configs.baseline(), "gemv", scale=SCALE)
         assert _serialize(served) == _serialize(result)
+
+
+def _scheme_points() -> list[SweepPoint]:
+    return [SweepPoint(scheme(), app, SCALE)
+            for scheme in (configs.baseline, configs.fbarre)
+            for app in ("gemv", "fft")]
+
+
+class TestSchedulerDeterminism:
+    def test_all_schedulers_bit_identical(self, tmp_path, monkeypatch):
+        """Serial, flat, and affinity produce the same payloads and files."""
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        payloads, files = {}, {}
+        for scheduler in SCHEDULERS:
+            cache = tmp_path / scheduler
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+            out = sweep(_scheme_points(), jobs=2, progress=False,
+                        scheduler=scheduler)
+            assert out.stats.simulated == 4
+            payloads[scheduler] = [json.dumps(_serialize(r), sort_keys=True)
+                                   for r in out.results]
+            files[scheduler] = {p.name: p.read_bytes()
+                                for p in cache.glob("*.json")}
+        assert payloads["serial"] == payloads["flat"] == payloads["affinity"]
+        assert files["serial"] == files["flat"] == files["affinity"]
+        assert len(files["serial"]) == 4
+
+    def test_affinity_sweep_matches_golden_digests(self, cache):
+        """Cache files written through the worker pool are byte-for-byte the
+        golden payloads — the sweep engine cannot perturb a simulation."""
+        from tests.test_golden_runs import GOLDEN_DIR, POINTS
+        names = ["baseline-gemv", "fbarre-gemv", "fbarre-fft", "mgvm-gemv"]
+        points = [SweepPoint(POINTS[name][0](), POINTS[name][2], SCALE)
+                  for name in names]
+        sweep(points, jobs=2, progress=False, scheduler="affinity")
+        for name, point in zip(names, points):
+            golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+            cache_file = runner_mod.point_path(point.config, point.abbr,
+                                               SCALE)
+            assert cache_file.exists()
+            got = hashlib.sha256(cache_file.read_bytes()).hexdigest()
+            assert got == golden["cache_payload_sha256"], (
+                f"{name}: sweep-written cache file diverges from golden")
+
+    def test_rejects_unknown_scheduler(self, cache, monkeypatch):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            sweep(_scheme_points(), progress=False, scheduler="bogus")
+        monkeypatch.setenv("REPRO_SCHEDULER", "bogus")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            sweep(_scheme_points(), progress=False)
+
+
+class TestSweepStats:
+    def test_jobs_reports_actual_worker_count(self, cache):
+        out = sweep([SweepPoint(configs.baseline(), "gemv", SCALE)],
+                    jobs=16, progress=False)
+        assert out.stats.jobs == 1, "a single miss runs inline, not on 16"
+        assert "jobs=1" in out.stats.describe()
+
+    def test_memo_hits_and_point_seconds_reported(self, cache):
+        from repro.gpu import mcm
+        mcm.TRACE_MEMO.clear()   # earlier in-process tests may have warmed it
+        points = [SweepPoint(configs.baseline(), "gemv", SCALE),
+                  SweepPoint(configs.fbarre(), "gemv", SCALE)]
+        out = sweep(points, jobs=1, progress=False)
+        # Both configs share (app, seed, scale): one build, one memo hit.
+        assert out.stats.memo_hits >= 1
+        assert out.stats.memo_misses >= 1
+        assert set(out.stats.point_seconds) == {p.key() for p in points}
+        assert all(s > 0 for s in out.stats.point_seconds.values())
+        assert "trace-memo" in out.stats.describe()
+
+    def test_pool_width_clamps_to_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OVERSUBSCRIBE", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert _pool_width(jobs=8, misses=8) == 2
+        monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+        assert _pool_width(jobs=8, misses=8) == 8
+        assert _pool_width(jobs=8, misses=3) == 3
+
+
+class TestCostModel:
+    def test_timings_sidecar_round_trip_and_merge(self, cache):
+        record_timings([("key-a", "gemv", 1.5), ("key-b", "fft", 3.0)])
+        record_timings([("key-a", "gemv", 2.0)])   # merge: last write wins
+        timings = load_timings()
+        assert timings[point_digest("key-a")] == {"app": "gemv",
+                                                  "seconds": 2.0}
+        assert timings[point_digest("key-b")] == {"app": "fft",
+                                                  "seconds": 3.0}
+        # The sidecar lives under meta/ and must not count as a cache file.
+        assert not list(cache.glob("*.json"))
+
+    def test_sweep_records_measured_timings(self, cache):
+        point = SweepPoint(configs.baseline(), "gemv", SCALE)
+        out = sweep([point], progress=False)
+        entry = load_timings()[point_digest(point.key())]
+        assert entry["app"] == "gemv"
+        assert entry["seconds"] == pytest.approx(
+            out.stats.point_seconds[point.key()], abs=0.01)
+
+    def test_plan_orders_longest_first_from_measurements(self, cache):
+        points = [SweepPoint(configs.baseline(), app, SCALE)
+                  for app in ("gemv", "fft", "atax")]
+        record_timings([(p.key(), p.abbr, cost) for p, cost in
+                        zip(points, (0.5, 9.0, 3.0))])
+        plan = plan_misses([(p.key(), p) for p in points], workers=1)
+        assert [pp.point.abbr for pp in plan] == ["fft", "atax", "gemv"]
+        assert all(pp.source == "measured" for pp in plan)
+        assert [pp.est_seconds for pp in plan] == [9.0, 3.0, 0.5]
+
+    def test_plan_estimate_fallback_chain(self, cache):
+        seen = SweepPoint(configs.baseline(), "gemv", SCALE)
+        record_timings([(seen.key(), "gemv", 2.0)])
+        # Same app, different config: falls back to the app median.
+        sibling = SweepPoint(configs.fbarre(), "gemv", SCALE)
+        # App never measured: falls back to the suite median.
+        stranger = SweepPoint(configs.baseline(), "fft", SCALE)
+        plan = plan_misses([(sibling.key(), sibling),
+                            (stranger.key(), stranger)], workers=1)
+        by_abbr = {pp.point.abbr: pp for pp in plan}
+        assert by_abbr["gemv"].source == "app-median"
+        assert by_abbr["gemv"].est_seconds == 2.0
+        assert by_abbr["fft"].source == "suite-median"
+
+    def test_plan_default_cost_when_no_history(self, cache):
+        point = SweepPoint(configs.baseline(), "gemv", SCALE)
+        plan = plan_misses([(point.key(), point)], workers=1)
+        assert plan[0].source == "default"
+
+    def test_dry_run_exposes_plan(self, cache):
+        out = sweep(_scheme_points(), progress=False, dry_run=True)
+        assert len(out.plan) == 4
+        assert all(r is None for r in out.results)
+        assert out.stats.simulated == 0
+
+    def test_affinity_groups_stay_on_one_worker(self, cache):
+        plan = plan_misses([(p.key(), p) for p in _scheme_points()],
+                           workers=2)
+        worker_of: dict[tuple, set[int]] = {}
+        for pp in plan:
+            worker_of.setdefault(pp.point.group(), set()).add(pp.worker)
+        assert all(len(ws) == 1 for ws in worker_of.values()), (
+            "an affinity group was split across workers")
+        assert len(worker_of) == 2   # gemv and fft groups
+
+
+class TestProgressEta:
+    def test_eta_excludes_future_cache_hits(self, capsys):
+        reporter = _Progress(total=4, cached=2, enabled=True)
+        reporter.start = time.perf_counter() - 10.0   # 10s elapsed
+        reporter.update(done=3, running=1)            # 1 miss done, 1 left
+        err = capsys.readouterr().err
+        assert "3/4 points" in err
+        # Rate 10s/miss x 1 remaining miss — not x3 for total remaining.
+        match = re.search(r"ETA (\d+)s", err)
+        assert match is not None
+        assert 8 <= int(match.group(1)) <= 12
+
+    def test_no_eta_before_first_miss_completes(self, capsys):
+        reporter = _Progress(total=4, cached=2, enabled=True)
+        reporter.update(done=2, running=2)
+        assert "ETA" not in capsys.readouterr().err
+
+    def test_serial_sweep_emits_final_update(self, cache, capsys):
+        sweep([SweepPoint(configs.baseline(), "gemv", SCALE)],
+              jobs=1, progress=True)
+        err = capsys.readouterr().err
+        assert "1/1 points" in err, "the line froze one point short"
+
+
+class TestLockBackoff:
+    def test_loser_backs_off_exponentially_to_cap(self, cache, monkeypatch):
+        cfg = configs.baseline()
+        path = runner_mod.point_path(cfg, "gemv", SCALE)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock = path.with_suffix(".lock")
+        lock.touch()   # somebody else holds the fill lock
+        delays: list[float] = []
+
+        def fake_sleep(seconds: float) -> None:
+            delays.append(seconds)
+            if len(delays) == 10:   # the winner publishes and releases
+                runner_mod._atomic_write(path,
+                                         runner_mod._stub_result("gemv"))
+                lock.unlink()
+
+        monkeypatch.setattr(time, "sleep", fake_sleep)
+        result = run_point(cfg, "gemv", scale=SCALE)
+        assert result.app == "gemv"
+        assert delays[:4] == [0.002, 0.004, 0.008, 0.016], (
+            "backoff must start fast and double")
+        assert max(delays) == 0.25, "backoff must cap, not grow unbounded"
+        assert delays[-1] == 0.25
 
 
 class TestDocsMatchCode:
