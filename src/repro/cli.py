@@ -12,6 +12,9 @@ Commands:
 * ``validate`` — differential validation: run several schemes on seeded
   fuzz workloads with the invariant checker installed and assert every
   delivered PFN matches the reference translator (and each other).
+* ``serve``  — run the simulation-as-a-service HTTP job API: submit
+  point-sets/figures/validate runs as jobs, poll progress, fetch cached
+  results (see docs/service.md).
 * ``list``   — list apps, schemes, and figures.
 """
 
@@ -127,6 +130,34 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="test-only: add OFFSET to every "
                                "PEC-calculated PFN and prove the harness "
                                "catches it (expect failures)")
+
+    serve = sub.add_parser(
+        "serve", help="serve the simulation job API over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8320,
+                       help="TCP port (default 8320; 0 = ephemeral)")
+    serve.add_argument("--job-slots", type=int, default=2,
+                       help="jobs allowed to run at once (default 2); "
+                            "further admissions queue")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="default sweep workers per job "
+                            "(default: REPRO_JOBS or all cores)")
+    serve.add_argument("--scheduler", choices=SWEEP_SCHEDULERS, default=None,
+                       help="default miss scheduler for jobs "
+                            "(default: REPRO_SCHEDULER or affinity)")
+    serve.add_argument("--quota-points", type=int, default=2000,
+                       help="per-client simulation-point budget per "
+                            "window (default 2000)")
+    serve.add_argument("--quota-window", type=float, default=60.0,
+                       help="quota window in seconds (default 60)")
+    serve.add_argument("--quota-jobs", type=int, default=4,
+                       help="per-client concurrent-job cap (default 4)")
+    serve.add_argument("--on-shutdown", choices=("drain", "cancel"),
+                       default="drain",
+                       help="SIGINT/SIGTERM behaviour: drain waits for "
+                            "in-flight jobs; cancel stops them at the "
+                            "next point boundary (default drain)")
 
     report = sub.add_parser(
         "report", help="stitch results/ into results/SUMMARY.md")
@@ -281,6 +312,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        JobStore,
+        QuotaPolicy,
+        ServiceApp,
+        serve_forever,
+    )
+
+    store = JobStore(
+        quota=QuotaPolicy(points_per_window=args.quota_points,
+                          window_seconds=args.quota_window,
+                          max_concurrent_jobs=args.quota_jobs),
+        job_slots=args.job_slots, sweep_jobs=args.jobs,
+        scheduler=args.scheduler)
+    return serve_forever(ServiceApp(store), args.host, args.port,
+                         on_shutdown=args.on_shutdown)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.summary import write_summary
     path = write_summary(args.results)
@@ -301,7 +350,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"run": _cmd_run, "suite": _cmd_suite,
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
                 "trace": _cmd_trace, "validate": _cmd_validate,
-                "report": _cmd_report, "list": _cmd_list}
+                "serve": _cmd_serve, "report": _cmd_report,
+                "list": _cmd_list}
     return handlers[args.command](args)
 
 

@@ -32,6 +32,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import re
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -129,6 +131,28 @@ def point_key(config: SimConfig, abbr: str, scale: float,
 def point_digest(key: str) -> str:
     """Short stable digest of a point key (cache filenames, sidecar keys)."""
     return hashlib.sha256(key.encode()).hexdigest()[:24]
+
+
+#: Shape of a :func:`point_digest` value — 24 lowercase hex chars.  The
+#: service's ``GET /results/{key}`` route validates against this before
+#: touching the filesystem.
+DIGEST_RE = re.compile(r"^[0-9a-f]{24}$")
+
+
+def result_path_by_digest(digest: str) -> Path | None:
+    """Locate a cache file by its point digest alone.
+
+    The service's result route hands out digests (not full point keys —
+    those embed the whole config JSON), so fetching a result means finding
+    the one ``<app>-<digest>.json`` file that carries it.  Returns None
+    when caching is off, the digest is malformed, or no such point has
+    been published.
+    """
+    root = _cache_dir()
+    if root is None or not DIGEST_RE.match(digest):
+        return None
+    matches = sorted(root.glob(f"*-{digest}.json"))
+    return matches[0] if matches else None
 
 
 def _point_path(config: SimConfig, app: str, scale: float,
@@ -281,10 +305,18 @@ def record_timings(entries) -> None:
 # Point collection (prewarm support for the sweep engine)
 # --------------------------------------------------------------------------
 
-#: When not None, ``run_point``/``run_pair`` record their would-be points
-#: here and return a cheap stub instead of simulating.  The sweep engine
-#: uses this to discover a figure's full point-set up front.
-_COLLECT_SINK: list | None = None
+#: When a thread's ``sink`` is not None, ``run_point``/``run_pair`` record
+#: their would-be points there and return a cheap stub instead of
+#: simulating.  The sweep engine uses this to discover a figure's full
+#: point-set up front.  Thread-local, so a service thread enumerating one
+#: job's points can never leak stubs into another thread's real
+#: simulation (the job API collects and evaluates on different threads
+#: concurrently).
+_COLLECT = threading.local()
+
+
+def _collect_sink() -> list | None:
+    return getattr(_COLLECT, "sink", None)
 
 
 @contextlib.contextmanager
@@ -293,17 +325,17 @@ def collecting():
 
     Yields the sink list.  Used by :func:`repro.experiments.sweep.collect_points`
     to enumerate every simulation point an experiment function would run.
+    Collection mode is per-thread (see :data:`_COLLECT`).
     """
-    global _COLLECT_SINK
-    prev, _COLLECT_SINK = _COLLECT_SINK, []
+    prev, _COLLECT.sink = _collect_sink(), []
     try:
-        yield _COLLECT_SINK
+        yield _COLLECT.sink
     finally:
-        _COLLECT_SINK = prev
+        _COLLECT.sink = prev
 
 
 def is_collecting() -> bool:
-    return _COLLECT_SINK is not None
+    return _collect_sink() is not None
 
 
 def _stub_result(app: str) -> SimResult:
@@ -366,9 +398,10 @@ def run_point(config: SimConfig, app: str | Workload,
     e.g. ``"x16"`` for Fig 24's scaled inputs).
     """
     scale = bench_scale() if scale is None else scale
-    if _COLLECT_SINK is not None:
+    sink = _collect_sink()
+    if sink is not None:
         abbr = app if isinstance(app, str) else app.abbr
-        _COLLECT_SINK.append((config, app, scale, workload_tag, None))
+        sink.append((config, app, scale, workload_tag, None))
         return _stub_result(abbr)
     workload = get_workload(app) if isinstance(app, str) else app
     path = _point_path(config, workload.abbr, scale, workload_tag)
@@ -381,8 +414,9 @@ def run_pair(config: SimConfig, app_a: str, app_b: str,
              scale: float | None = None) -> SimResult:
     """Multi-programming point: two apps co-scheduled (Section VII-I)."""
     scale = bench_scale() if scale is None else scale
-    if _COLLECT_SINK is not None:
-        _COLLECT_SINK.append((config, app_a, scale, "", app_b))
+    sink = _collect_sink()
+    if sink is not None:
+        sink.append((config, app_a, scale, "", app_b))
         return _stub_result(app_a)
 
     def compute() -> SimResult:

@@ -43,6 +43,7 @@ import multiprocessing
 import os
 import statistics
 import sys
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -64,6 +65,17 @@ _DEFAULT_COST = 1.0
 
 #: Idle worker nap between steal rounds (all queues momentarily empty).
 _STEAL_POLL_S = 0.005
+
+
+class SweepCancelled(RuntimeError):
+    """Raised by :func:`sweep` when its ``cancel`` event is set mid-run.
+
+    Cancellation is cooperative and lands on point boundaries: every
+    point that finished before the event was observed has already been
+    published to the result cache (atomic fill), so re-submitting the
+    same point-set resumes from where the cancelled run stopped — the
+    finished points come back as cache hits.
+    """
 
 
 @dataclass(frozen=True, eq=False)
@@ -268,24 +280,42 @@ class _Progress:
     never inflate it — divided by the workers currently running.  The
     callers emit a final update after the last miss completes, so the
     line reaches ``total/total`` instead of freezing one point short.
+
+    ``observer`` (if given) receives every :meth:`snapshot` dict as it is
+    produced, independent of the TTY line — this is what the job API
+    streams back to polling clients, so the numbers a client sees are
+    exactly the numbers the terminal line would show.
     """
 
-    def __init__(self, total: int, cached: int, enabled: bool | None = None):
+    def __init__(self, total: int, cached: int, enabled: bool | None = None,
+                 observer=None):
         self.total = total
         self.cached = cached
         self.enabled = sys.stderr.isatty() if enabled is None else enabled
+        self.observer = observer
         self.start = time.perf_counter()
         self._drawn = False
 
-    def update(self, done: int, running: int) -> None:
-        if not self.enabled or not self.total:
-            return
+    def snapshot(self, done: int, running: int) -> dict:
+        """Point-in-time progress: done/cached/running counts plus ETA."""
         simulated = done - self.cached
         misses_left = self.total - done
-        eta = ""
+        eta = None
         if simulated > 0 and misses_left > 0:
             rate = (time.perf_counter() - self.start) / simulated
-            eta = f", ETA {rate * misses_left / max(1, running):.0f}s"
+            eta = rate * misses_left / max(1, running)
+        return {"total": self.total, "cached": self.cached, "done": done,
+                "running": running, "eta_seconds": eta,
+                "elapsed_seconds": time.perf_counter() - self.start}
+
+    def update(self, done: int, running: int) -> None:
+        snap = self.snapshot(done, running)
+        if self.observer is not None:
+            self.observer(snap)
+        if not self.enabled or not self.total:
+            return
+        eta = ("" if snap["eta_seconds"] is None
+               else f", ETA {snap['eta_seconds']:.0f}s")
         line = (f"[sweep] {done}/{self.total} points "
                 f"({self.cached} cached, {running} running{eta})")
         sys.stderr.write("\r" + line.ljust(79))
@@ -318,13 +348,19 @@ def _simulate_point(point: SweepPoint) -> tuple[dict, float, int, int]:
 
 
 def _run_flat(plan: list[PlannedPoint], workers: int, reporter: _Progress,
-              results: dict, stats: SweepStats) -> None:
+              results: dict, stats: SweepStats, cancel=None) -> None:
     cached = stats.cached
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {pool.submit(_simulate_point, pp.point): pp for pp in plan}
         reporter.update(cached, running=len(futures))
         done = 0
         for future in as_completed(futures):
+            if cancel is not None and cancel.is_set():
+                for pending_future in futures:
+                    pending_future.cancel()
+                raise SweepCancelled(
+                    f"sweep cancelled with {len(plan) - done} misses "
+                    f"outstanding")
             pp = futures[future]
             payload, seconds, memo_hits, memo_misses = future.result()
             results[pp.key] = runner._deserialize(payload)
@@ -389,7 +425,7 @@ def _drain(q) -> None:
 
 
 def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
-                  results: dict, stats: SweepStats) -> None:
+                  results: dict, stats: SweepStats, cancel=None) -> None:
     ctx = multiprocessing.get_context()
     inboxes = [ctx.Queue() for _ in range(workers)]
     result_q = ctx.Queue()
@@ -406,6 +442,12 @@ def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
     reporter.update(cached, running=min(workers, pending))
     try:
         while pending:
+            if cancel is not None and cancel.is_set():
+                # The finally block below stops the workers; each finishes
+                # (and cache-publishes) its in-flight point first, so a
+                # resume re-runs only the points never started.
+                raise SweepCancelled(
+                    f"sweep cancelled with {pending} misses outstanding")
             try:
                 (index, payload, seconds, memo_hits, memo_misses,
                  error) = result_q.get(timeout=0.25)
@@ -454,7 +496,8 @@ def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
 # --------------------------------------------------------------------------
 
 def sweep(points, jobs: int | None = None, progress: bool | None = None,
-          dry_run: bool = False, scheduler: str | None = None) -> SweepOutcome:
+          dry_run: bool = False, scheduler: str | None = None,
+          observer=None, cancel: threading.Event | None = None) -> SweepOutcome:
     """Deduplicate ``points`` against the cache and schedule the misses.
 
     Returns results in submission order (duplicates each get the shared
@@ -463,6 +506,14 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
     :func:`default_scheduler`.  ``dry_run=True`` plans without simulating
     — missing points come back as ``None`` with the cost-model schedule
     in ``outcome.plan``.
+
+    ``observer`` receives every progress snapshot dict (see
+    :meth:`_Progress.snapshot`) including a final one; ``cancel`` is a
+    :class:`threading.Event` checked on point boundaries — once set, the
+    run stops dispatching, lets in-flight points publish to the cache,
+    records the timings of everything that finished, and raises
+    :class:`SweepCancelled`.  Together they make a sweep drivable as a
+    background job (:class:`SweepJob`, the service API).
     """
     points = list(points)
     if runner.is_collecting():
@@ -493,7 +544,8 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
     cached = len(results)
     stats = SweepStats(total=len(points), unique=len(unique), cached=cached)
     plan: list[PlannedPoint] = []
-    reporter = _Progress(len(unique), cached, enabled=progress)
+    reporter = _Progress(len(unique), cached, enabled=progress,
+                         observer=observer)
     if dry_run:
         plan = plan_misses(misses, _pool_width(jobs, len(misses) or 1))
         for key, _ in misses:
@@ -501,36 +553,49 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
     elif misses:
         stats.simulated = len(misses)
         workers = _pool_width(jobs, len(misses))
-        # A one-worker pool is strictly worse than running inline (same
-        # serial order, plus process spawn and result IPC) — so the core
-        # clamp on a small machine degrades to the serial path.
-        if scheduler == "serial" or workers == 1 or len(misses) == 1:
-            plan = plan_misses(misses, workers=1)
-            memo = mcm.TRACE_MEMO
-            reporter.update(cached, running=1)
-            done = 0
-            for pp in plan:
-                hits, memo_misses = memo.hits, memo.misses
-                t0 = time.perf_counter()
-                results[pp.key] = _run_inline(pp.point)
-                stats.point_seconds[pp.key] = time.perf_counter() - t0
-                stats.memo_hits += memo.hits - hits
-                stats.memo_misses += memo.misses - memo_misses
-                done += 1
-                reporter.update(cached + done,
-                                running=int(done < len(plan)))
-        else:
-            stats.jobs = workers
-            plan = plan_misses(misses, workers)
-            if scheduler == "flat":
-                _run_flat(plan, workers, reporter, results, stats)
+        try:
+            # A one-worker pool is strictly worse than running inline (same
+            # serial order, plus process spawn and result IPC) — so the core
+            # clamp on a small machine degrades to the serial path.
+            if scheduler == "serial" or workers == 1 or len(misses) == 1:
+                plan = plan_misses(misses, workers=1)
+                memo = mcm.TRACE_MEMO
+                reporter.update(cached, running=1)
+                done = 0
+                for pp in plan:
+                    if cancel is not None and cancel.is_set():
+                        raise SweepCancelled(
+                            f"sweep cancelled with {len(plan) - done} "
+                            f"misses outstanding")
+                    hits, memo_misses = memo.hits, memo.misses
+                    t0 = time.perf_counter()
+                    results[pp.key] = _run_inline(pp.point)
+                    stats.point_seconds[pp.key] = time.perf_counter() - t0
+                    stats.memo_hits += memo.hits - hits
+                    stats.memo_misses += memo.misses - memo_misses
+                    done += 1
+                    reporter.update(cached + done,
+                                    running=int(done < len(plan)))
             else:
-                _run_affinity(plan, workers, reporter, results, stats)
-        runner.record_timings(
-            (pp.key, pp.point.abbr, stats.point_seconds[pp.key])
-            for pp in plan if pp.key in stats.point_seconds)
+                stats.jobs = workers
+                plan = plan_misses(misses, workers)
+                if scheduler == "flat":
+                    _run_flat(plan, workers, reporter, results, stats,
+                              cancel=cancel)
+                else:
+                    _run_affinity(plan, workers, reporter, results, stats,
+                                  cancel=cancel)
+        finally:
+            # A cancelled run still banks the wall-times it measured —
+            # the cost model should learn from every completed point.
+            runner.record_timings(
+                (pp.key, pp.point.abbr, stats.point_seconds[pp.key])
+                for pp in plan if pp.key in stats.point_seconds)
     reporter.finish()
     stats.elapsed = time.perf_counter() - start
+    if observer is not None:
+        observer(reporter.snapshot(cached + len(stats.point_seconds),
+                                   running=0))
     return SweepOutcome([results[key] for key in keys], stats, plan)
 
 
@@ -559,3 +624,124 @@ def prewarm(fn, *args, jobs: int | None = None,
     """
     return sweep(collect_points(fn, *args, **kwargs),
                  jobs=jobs, progress=progress)
+
+
+# --------------------------------------------------------------------------
+# Job handle (the service API's unit of work)
+# --------------------------------------------------------------------------
+
+class SweepJob:
+    """A cancellable, resumable handle around one :func:`sweep` call.
+
+    The service layer (``repro.service``) needs three things the bare
+    function does not give it: a progress snapshot readable from another
+    thread, cooperative cancellation, and the ability to *resume* a
+    cancelled run.  ``SweepJob`` provides all three on top of the
+    existing machinery:
+
+    * progress comes from the sweep's ``observer`` hook — the same
+      ``_Progress`` snapshots the terminal line draws;
+    * :meth:`cancel` sets the event :func:`sweep` checks on point
+      boundaries;
+    * resume is free: finished points were cache-published before the
+      cancel landed, so :meth:`run` (or :meth:`start`) called again
+      serves them as hits and simulates only the remainder.
+
+    ``run()`` executes in the calling thread (what the service's job
+    executor uses); ``start()`` spawns a daemon thread for fire-and-forget
+    use.  States: ``pending → running → completed | cancelled | failed``,
+    with ``cancelled``/``failed`` restartable.
+    """
+
+    def __init__(self, points, jobs: int | None = None,
+                 scheduler: str | None = None,
+                 cancel_event: threading.Event | None = None):
+        self.points = list(points)
+        self.jobs = jobs
+        self.scheduler = scheduler
+        self.state = "pending"
+        self.outcome: SweepOutcome | None = None
+        self.error: str | None = None
+        #: Sharable: a caller may pass its own event so an external
+        #: cancel signal (e.g. the service's DELETE route) reaches the
+        #: scheduler directly.
+        self._cancel = cancel_event if cancel_event is not None \
+            else threading.Event()
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._progress: dict = {"total": len(self.points), "cached": 0,
+                                "done": 0, "running": 0, "eta_seconds": None,
+                                "elapsed_seconds": 0.0}
+
+    def _observe(self, snap: dict) -> None:
+        self._progress = snap
+
+    def run(self) -> SweepOutcome | None:
+        """Execute (or resume) the sweep in the calling thread."""
+        with self._lock:
+            if self.state == "running":
+                raise RuntimeError("SweepJob is already running")
+            if self.state == "completed":
+                return self.outcome
+            if self.state in ("cancelled", "failed"):
+                # Resuming: the old cancel request must not kill the rerun.
+                self._cancel.clear()
+            self.state = "running"
+            self.error = None
+        try:
+            outcome = sweep(self.points, jobs=self.jobs, progress=False,
+                            scheduler=self.scheduler, observer=self._observe,
+                            cancel=self._cancel)
+        except SweepCancelled as exc:
+            with self._lock:
+                self.state, self.error = "cancelled", str(exc)
+            return None
+        except Exception as exc:
+            with self._lock:
+                self.state, self.error = "failed", f"{type(exc).__name__}: {exc}"
+            raise
+        with self._lock:
+            self.outcome, self.state = outcome, "completed"
+        return outcome
+
+    def start(self) -> threading.Thread:
+        """Run in a background daemon thread; returns the thread."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                raise RuntimeError("SweepJob is already running")
+
+        def _target():
+            try:
+                self.run()
+            except Exception:
+                pass    # recorded in self.error by run()
+
+        self._thread = threading.Thread(target=_target, daemon=True,
+                                        name="sweep-job")
+        self._thread.start()
+        return self._thread
+
+    def cancel(self) -> None:
+        """Request cancellation; the run stops at the next point boundary."""
+        self._cancel.set()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def snapshot(self) -> dict:
+        """Thread-safe view: state, progress counters, error, stats."""
+        with self._lock:
+            snap = {"state": self.state, "progress": dict(self._progress),
+                    "error": self.error}
+            if self.outcome is not None:
+                stats = self.outcome.stats
+                snap["stats"] = {
+                    "total": stats.total, "unique": stats.unique,
+                    "cached": stats.cached, "simulated": stats.simulated,
+                    "jobs": stats.jobs,
+                    "elapsed": round(stats.elapsed, 4),
+                    "memo_hits": stats.memo_hits,
+                    "memo_misses": stats.memo_misses,
+                }
+            return snap

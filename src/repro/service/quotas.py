@@ -1,0 +1,141 @@
+"""Per-client quotas: a points-per-window budget and a concurrent-job cap.
+
+A simulation point is the service's cost unit (one point ≈ one DES run),
+so quotas are denominated in points, not requests: a client submitting
+one 500-point figure spends as much budget as one submitting 500
+single-point jobs.  Two independent limits apply per client token (the
+``X-Repro-Token`` header; absent means the shared ``anonymous`` bucket):
+
+* **points per window** — a sliding-window budget.  Admission sums the
+  points of every job the token submitted in the last ``window_seconds``;
+  if adding this job would exceed ``points_per_window`` the submit is
+  rejected with a ``Retry-After`` computed from when the oldest spend
+  ages out.  Spend is charged at admission (not completion), so a burst
+  of submits cannot outrun the accounting.
+* **concurrent jobs** — at most ``max_concurrent_jobs`` of the token's
+  jobs may be queued or running at once; the slot frees when a job
+  reaches a terminal state.
+
+The ledger is in-memory and process-local — quota state resets with the
+server, which matches the job store (jobs do not survive a restart
+either; only the *result cache* is durable).  Semantics and the 429
+payload are documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Service-wide limits applied to every client token."""
+
+    points_per_window: int = 2000
+    window_seconds: float = 60.0
+    max_concurrent_jobs: int = 4
+
+
+class QuotaExceeded(Exception):
+    """Admission denied; carries the reason and an optional retry hint."""
+
+    def __init__(self, reason: str, retry_after: float | None = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class QuotaLedger:
+    """Thread-safe per-token accounting against one :class:`QuotaPolicy`.
+
+    ``clock`` is injectable (monotonic seconds) so tests can move time.
+    """
+
+    def __init__(self, policy: QuotaPolicy, clock=time.monotonic):
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: token -> deque[(timestamp, points)] within the current window
+        self._spend: dict[str, deque] = {}
+        #: token -> jobs currently queued or running
+        self._active: dict[str, int] = {}
+
+    def _prune(self, token: str, now: float) -> deque:
+        window = self._spend.setdefault(token, deque())
+        horizon = now - self.policy.window_seconds
+        while window and window[0][0] <= horizon:
+            window.popleft()
+        return window
+
+    def admit(self, token: str, points: int) -> None:
+        """Charge ``points`` to ``token`` and claim a job slot, or raise.
+
+        Raises :class:`QuotaExceeded` without charging anything when
+        either limit would be violated.
+        """
+        with self._lock:
+            now = self._clock()
+            if self._active.get(token, 0) >= self.policy.max_concurrent_jobs:
+                raise QuotaExceeded(
+                    f"client {token!r} already has "
+                    f"{self._active[token]} jobs queued or running "
+                    f"(cap {self.policy.max_concurrent_jobs}); poll or "
+                    f"cancel one first")
+            if points > self.policy.points_per_window:
+                raise QuotaExceeded(
+                    f"job costs {points} points, more than the whole "
+                    f"per-window budget "
+                    f"({self.policy.points_per_window}); split it up")
+            window = self._prune(token, now)
+            spent = sum(p for _, p in window)
+            if spent + points > self.policy.points_per_window:
+                # Admissible once enough old spend ages out of the window.
+                needed = spent + points - self.policy.points_per_window
+                freed = 0
+                retry_after = self.policy.window_seconds
+                for stamp, p in window:
+                    freed += p
+                    if freed >= needed:
+                        retry_after = max(
+                            0.0, stamp + self.policy.window_seconds - now)
+                        break
+                raise QuotaExceeded(
+                    f"client {token!r} spent {spent} of "
+                    f"{self.policy.points_per_window} points in the last "
+                    f"{self.policy.window_seconds:g}s; this job needs "
+                    f"{points} more", retry_after=retry_after)
+            window.append((now, points))
+            self._active[token] = self._active.get(token, 0) + 1
+
+    def release(self, token: str) -> None:
+        """Free the job slot claimed at admission (terminal state reached).
+
+        Window spend is *not* refunded — a cancelled job still consumed
+        scheduling capacity, and refunds would let a submit/cancel loop
+        bypass the budget.
+        """
+        with self._lock:
+            active = self._active.get(token, 0)
+            if active <= 1:
+                self._active.pop(token, None)
+            else:
+                self._active[token] = active - 1
+
+    def usage(self, token: str) -> dict:
+        """Current accounting for one token (the ``/stats`` view)."""
+        with self._lock:
+            window = self._prune(token, self._clock())
+            return {
+                "active_jobs": self._active.get(token, 0),
+                "points_in_window": sum(p for _, p in window),
+                "points_per_window": self.policy.points_per_window,
+                "window_seconds": self.policy.window_seconds,
+                "max_concurrent_jobs": self.policy.max_concurrent_jobs,
+            }
+
+    def tokens(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._spend) | set(self._active))

@@ -1,0 +1,459 @@
+"""Route-level tests for the simulation-as-a-service job API.
+
+Each test boots the real asyncio server (``BackgroundServer``) on an
+ephemeral port and talks plain HTTP through urllib — the same framing a
+curl client uses — so these cover the transport, routing, schemas,
+quotas, the job lifecycle, and the shared-cache guarantees end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import configs
+from repro.experiments import runner as runner_mod
+from repro.experiments.sweep import SweepJob, SweepPoint, sweep
+from repro.gpu.mcm import McmGpuSimulator
+from repro.service import (
+    BackgroundServer,
+    JobStore,
+    QuotaExceeded,
+    QuotaLedger,
+    QuotaPolicy,
+    ServiceApp,
+)
+
+SCALE = 0.05
+TERMINAL = ("completed", "failed", "cancelled")
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    return tmp_path
+
+
+@pytest.fixture
+def make_service(cache):
+    """Factory for (server, store) pairs; everything torn down at exit."""
+    live = []
+
+    def _make(points_per_window=2000, window_seconds=60.0,
+              max_concurrent_jobs=4, job_slots=1):
+        store = JobStore(
+            quota=QuotaPolicy(points_per_window=points_per_window,
+                              window_seconds=window_seconds,
+                              max_concurrent_jobs=max_concurrent_jobs),
+            job_slots=job_slots, sweep_jobs=1)
+        server = BackgroundServer(ServiceApp(store)).start()
+        live.append((server, store))
+        return server, store
+
+    yield _make
+    for server, store in live:
+        store.begin_shutdown("cancel")
+        store.drain()
+        server.stop()
+
+
+@pytest.fixture
+def slow_sim(monkeypatch):
+    """Make every simulation take >=0.25s so tests can race it reliably."""
+    real = McmGpuSimulator.run
+
+    def slow(self):
+        time.sleep(0.25)
+        return real(self)
+
+    monkeypatch.setattr(McmGpuSimulator, "run", slow)
+
+
+def request(base, method, path, body=None, token=None):
+    """One HTTP round trip -> (status, headers, bytes)."""
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["X-Repro-Token"] = token
+    req = urllib.request.Request(
+        base + path, method=method, headers=headers,
+        data=json.dumps(body).encode() if body is not None else None)
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def poll_job(base, job_id, timeout=90.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = request(base, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        job = json.loads(body)
+        if job["state"] in TERMINAL:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+def gemv_point(scheme="baseline"):
+    return {"scheme": scheme, "app": "gemv", "scale": SCALE}
+
+
+class TestBasics:
+    def test_healthz_and_meta(self, make_service):
+        server, _ = make_service()
+        status, _, body = request(server.base_url, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        status, _, body = request(server.base_url, "GET", "/meta")
+        meta = json.loads(body)
+        assert status == 200
+        assert "gemv" in meta["apps"]
+        assert "fbarre" in meta["schemes"]
+        assert "fig15" in meta["figures"]
+        assert meta["schedulers"] == ["affinity", "flat", "serial"]
+
+    def test_unknown_route_404_and_wrong_method_405(self, make_service):
+        server, _ = make_service()
+        assert request(server.base_url, "GET", "/nope")[0] == 404
+        assert request(server.base_url, "DELETE", "/healthz")[0] == 405
+
+    def test_unknown_job_and_result_404(self, make_service):
+        server, _ = make_service()
+        assert request(server.base_url, "GET", "/jobs/j999999")[0] == 404
+        assert request(server.base_url, "DELETE", "/jobs/j999999")[0] == 404
+        # Well-formed digest, never simulated:
+        assert request(server.base_url, "GET",
+                       "/results/" + "0" * 24)[0] == 404
+        # Malformed digest must not touch the filesystem:
+        assert request(server.base_url, "GET",
+                       "/results/../etc/passwd")[0] == 404
+
+    def test_schema_errors_are_400_with_reason(self, make_service):
+        server, _ = make_service()
+        cases = [
+            ({"points": [{"scheme": "nosuch", "app": "gemv"}]}, "scheme"),
+            ({"points": [{"scheme": "barre", "app": "nosuch"}]}, "app"),
+            ({"figure": "fig999"}, "figure"),
+            ({"points": [], }, "non-empty"),
+            ({"figure": "fig05", "points": [gemv_point()]}, "exactly one"),
+            ({"points": [gemv_point()], "scale": 99}, "out of range"),
+            ({"validate": {"schemes": ["nosuch"]}}, "validate.schemes"),
+            ({}, "exactly one"),
+        ]
+        for payload, needle in cases:
+            status, _, body = request(server.base_url, "POST", "/jobs",
+                                      payload)
+            assert status == 400, payload
+            assert needle in json.loads(body)["error"]
+
+    def test_non_json_body_is_400(self, make_service):
+        server, _ = make_service()
+        req = urllib.request.Request(server.base_url + "/jobs",
+                                     method="POST", data=b"not json {")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+
+class TestJobLifecycle:
+    def test_submit_poll_fetch_happy_path(self, cache, make_service):
+        server, _ = make_service()
+        status, _, body = request(server.base_url, "POST", "/jobs",
+                                  {"points": [gemv_point()]})
+        assert status == 202
+        submitted = json.loads(body)
+        assert submitted["state"] in ("queued", "running")
+        assert submitted["kind"] == "points"
+
+        job = poll_job(server.base_url, submitted["id"])
+        assert job["state"] == "completed"
+        assert job["progress"]["done"] == job["progress"]["total"] == 1
+        entry = job["result"]["points"][0]
+        assert entry["app"] == "gemv" and entry["simulated"] is True
+        assert job["result"]["stats"]["simulated"] == 1
+
+        status, _, payload = request(server.base_url, "GET",
+                                     entry["result_url"])
+        assert status == 200
+        cache_file = next(cache.glob(f"*-{entry['digest']}.json"))
+        assert payload == cache_file.read_bytes(), (
+            "HTTP result bytes diverge from the cache file")
+
+        # The job shows up in the listing.
+        _, _, body = request(server.base_url, "GET", "/jobs")
+        assert [j["id"] for j in json.loads(body)["jobs"]] == [job["id"]]
+
+    def test_cached_job_serves_cli_result_without_resimulation(
+            self, cache, make_service, monkeypatch):
+        from repro.cli import main
+        assert main(["sweep", "--schemes", "baseline", "--apps", "gemv",
+                     "--scale", str(SCALE), "--jobs", "1"]) == 0
+        cli_file = next(cache.glob("*.json"))
+        cli_bytes = cli_file.read_bytes()
+
+        # Any simulation now would be a bug — make one impossible to miss.
+        def boom(self):
+            raise AssertionError("cache hit expected; simulator invoked")
+        monkeypatch.setattr(McmGpuSimulator, "run", boom)
+
+        server, _ = make_service()
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]})
+        job = poll_job(server.base_url, json.loads(body)["id"])
+        assert job["state"] == "completed"
+        entry = job["result"]["points"][0]
+        assert entry["simulated"] is False
+        assert job["result"]["stats"]["cached"] == 1
+        assert job["result"]["stats"]["simulated"] == 0
+        _, _, payload = request(server.base_url, "GET", entry["result_url"])
+        assert payload == cli_bytes, (
+            "service payload is not byte-identical to the CLI cache fill")
+
+    def test_figure_job_runs_and_reports_output(self, cache, make_service):
+        server, _ = make_service()
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"figure": "fig05", "scale": SCALE})
+        job = poll_job(server.base_url, json.loads(body)["id"], timeout=180)
+        assert job["state"] == "completed"
+        assert job["result"]["figure"] == "fig05"
+        assert "output" in job["result"]
+        # fig05: 3 apps x (baseline, shared-l2) = 6 points, all cached now.
+        assert len(job["result"]["points"]) == 6
+        assert len(list(cache.glob("*.json"))) == 6
+
+    def test_validate_job(self, cache, make_service):
+        server, _ = make_service()
+        _, _, body = request(
+            server.base_url, "POST", "/jobs",
+            {"validate": {"schemes": ["barre"], "seeds": 1}, "scale": 0.5})
+        job = poll_job(server.base_url, json.loads(body)["id"], timeout=180)
+        assert job["state"] == "completed"
+        assert job["result"]["ok"] is True
+        assert "accesses checked" in job["result"]["summary"]
+
+    def test_cancel_running_job_is_point_boundary_deterministic(
+            self, cache, make_service, slow_sim):
+        server, _ = make_service()
+        points = [{"scheme": s, "app": a, "scale": SCALE}
+                  for s in ("baseline", "fbarre") for a in ("gemv", "fft")]
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": points})
+        job_id = json.loads(body)["id"]
+        time.sleep(0.4)     # let at least one slow point finish
+        status, _, _ = request(server.base_url, "DELETE", f"/jobs/{job_id}")
+        assert status == 200
+        job = poll_job(server.base_url, job_id)
+        assert job["state"] == "cancelled"
+        assert "cancelled" in job["error"]
+        # Whatever finished before the cancel is durable in the cache and
+        # never torn: every file is complete, loadable JSON.
+        files = list(cache.glob("*.json"))
+        assert len(files) < 4
+        for path in files:
+            json.loads(path.read_text())
+        assert not list(cache.glob("*.lock"))
+
+
+class TestQuotas:
+    def test_points_budget_rejects_with_retry_after(self, make_service):
+        server, _ = make_service(points_per_window=1)
+        status, headers, body = request(
+            server.base_url, "POST", "/jobs",
+            {"points": [gemv_point(), gemv_point("fbarre")]})
+        assert status == 429
+        assert "budget" in json.loads(body)["error"]
+        # Over-budget-entirely has no meaningful retry hint.
+        _, _, body2 = request(server.base_url, "POST", "/jobs",
+                              {"points": [gemv_point()]})
+        # First job never got admitted, so a 1-point job fits.
+        assert json.loads(body2)["state"] in ("queued", "running")
+
+    def test_window_spend_then_429_then_refill(self, make_service,
+                                               slow_sim):
+        server, _ = make_service(points_per_window=1, window_seconds=1.5)
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]}, token="alice")
+        first = json.loads(body)["id"]
+        status, headers, body = request(server.base_url, "POST", "/jobs",
+                                        {"points": [gemv_point("barre")]},
+                                        token="alice")
+        assert status == 429
+        assert "Retry-After" in headers
+        assert int(headers["Retry-After"]) >= 1
+        poll_job(server.base_url, first)
+        time.sleep(1.6)     # window rolls over; budget refills
+        status, _, _ = request(server.base_url, "POST", "/jobs",
+                               {"points": [gemv_point("barre")]},
+                               token="alice")
+        assert status == 202
+
+    def test_concurrent_job_cap(self, make_service, slow_sim):
+        server, _ = make_service(max_concurrent_jobs=1, job_slots=1)
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]}, token="bob")
+        first = json.loads(body)["id"]
+        status, _, body = request(server.base_url, "POST", "/jobs",
+                                  {"points": [gemv_point("barre")]},
+                                  token="bob")
+        assert status == 429
+        assert "queued or running" in json.loads(body)["error"]
+        # Another client is unaffected.
+        status, _, _ = request(server.base_url, "POST", "/jobs",
+                               {"points": [gemv_point()]}, token="carol")
+        assert status == 202
+        poll_job(server.base_url, first)
+        # Slot freed: bob may submit again.
+        status, _, _ = request(server.base_url, "POST", "/jobs",
+                               {"points": [gemv_point("barre")]},
+                               token="bob")
+        assert status == 202
+
+    def test_ledger_accounting_with_fake_clock(self):
+        now = [0.0]
+        ledger = QuotaLedger(QuotaPolicy(points_per_window=10,
+                                         window_seconds=60.0,
+                                         max_concurrent_jobs=2),
+                             clock=lambda: now[0])
+        ledger.admit("t", 6)
+        ledger.admit("t", 4)
+        with pytest.raises(QuotaExceeded) as err:
+            ledger.admit("t", 1)    # budget spent and both slots taken
+        ledger.release("t")
+        ledger.release("t")
+        with pytest.raises(QuotaExceeded) as err:
+            ledger.admit("t", 1)    # slots free, but window still charged
+        assert err.value.retry_after == pytest.approx(60.0)
+        now[0] = 61.0               # both t=0 spends age out of the window
+        ledger.admit("t", 6)
+        assert ledger.usage("t")["points_in_window"] == 6
+        ledger.admit("t", 4)        # exactly fills the refreshed budget
+        with pytest.raises(QuotaExceeded):
+            ledger.admit("t", 1)
+
+
+class TestSharedCache:
+    def test_http_job_and_cli_sweep_share_one_cache(self, cache,
+                                                    make_service):
+        """A service job and a concurrent CLI-style sweep overlap on one
+        point; the lockfile discipline must let both finish with exactly
+        one simulation per unique point."""
+        server, _ = make_service()
+        service_points = [gemv_point(), {"scheme": "baseline", "app": "fft",
+                                         "scale": SCALE}]
+        cli_points = [SweepPoint(configs.baseline(), "fft", SCALE),
+                      SweepPoint(configs.baseline(), "spmv", SCALE)]
+
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": service_points})
+        job_id = json.loads(body)["id"]
+        cli_outcome = {}
+        thread = threading.Thread(
+            target=lambda: cli_outcome.update(
+                out=sweep(cli_points, jobs=1, progress=False)))
+        thread.start()
+        job = poll_job(server.base_url, job_id)
+        thread.join(timeout=120)
+        assert job["state"] == "completed"
+        assert all(r is not None for r in cli_outcome["out"].results)
+        # gemv, fft, spmv — fft simulated once despite both clients.
+        assert len(list(cache.glob("*.json"))) == 3
+        assert not list(cache.glob("*.lock"))
+        assert not list(cache.glob("*.tmp"))
+        fft_digest = runner_mod.point_digest(cli_points[0].key())
+        _, _, payload = request(server.base_url, "GET",
+                                f"/results/{fft_digest}")
+        assert payload == next(cache.glob(f"*-{fft_digest}.json")).read_bytes()
+
+
+class TestShutdown:
+    def test_drain_finishes_inflight_and_rejects_new(self, cache,
+                                                     make_service,
+                                                     slow_sim):
+        server, store = make_service()
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]})
+        job_id = json.loads(body)["id"]
+        store.begin_shutdown("drain")
+        status, _, body = request(server.base_url, "POST", "/jobs",
+                                  {"points": [gemv_point("barre")]})
+        assert status == 503
+        assert "shutting down" in json.loads(body)["error"]
+        status, _, body = request(server.base_url, "GET", "/healthz")
+        assert json.loads(body)["status"] == "shutting-down"
+        store.drain()
+        job = poll_job(server.base_url, job_id)
+        assert job["state"] == "completed", "drain must finish in-flight jobs"
+
+    def test_cancel_mode_stops_jobs_at_point_boundaries(self, cache,
+                                                        make_service,
+                                                        slow_sim):
+        server, store = make_service()
+        points = [{"scheme": s, "app": "gemv", "scale": SCALE}
+                  for s in ("baseline", "barre", "fbarre", "least")]
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": points})
+        job_id = json.loads(body)["id"]
+        time.sleep(0.3)
+        store.begin_shutdown("cancel")
+        store.drain()
+        _, _, body = request(server.base_url, "GET", f"/jobs/{job_id}")
+        assert json.loads(body)["state"] == "cancelled"
+        for path in cache.glob("*.json"):    # nothing torn
+            json.loads(path.read_text())
+
+
+class TestSweepJobHandle:
+    """The service's unit of work, exercised directly (no HTTP)."""
+
+    def test_run_completes_and_snapshot_reports(self, cache):
+        job = SweepJob([SweepPoint(configs.baseline(), "gemv", SCALE)],
+                       jobs=1)
+        outcome = job.run()
+        assert job.state == "completed"
+        assert outcome.stats.simulated == 1
+        snap = job.snapshot()
+        assert snap["state"] == "completed"
+        assert snap["progress"]["done"] == 1
+        assert snap["stats"]["simulated"] == 1
+        # Re-running a completed job is a no-op returning the outcome.
+        assert job.run() is outcome
+
+    def test_cancel_then_resume_serves_finished_points_from_cache(
+            self, cache, slow_sim):
+        points = [SweepPoint(cfg(), "gemv", SCALE)
+                  for cfg in (configs.baseline, configs.barre,
+                              configs.fbarre)]
+        job = SweepJob(points, jobs=1)
+        job.start()
+        time.sleep(0.35)          # first point done, second in flight
+        job.cancel()
+        job.join(timeout=60)
+        assert job.state == "cancelled"
+        assert job.outcome is None
+        finished = len(list(cache.glob("*.json")))
+        assert 1 <= finished < 3
+
+        outcome = job.run()       # resume
+        assert job.state == "completed"
+        assert len(outcome.results) == 3
+        assert outcome.stats.cached == finished, (
+            "resume must serve previously finished points from the cache")
+
+    def test_double_start_is_rejected(self, cache, slow_sim):
+        job = SweepJob([SweepPoint(configs.baseline(), "gemv", SCALE)],
+                       jobs=1)
+        job.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            job.run()
+        job.join(timeout=60)
+        assert job.state == "completed"
