@@ -1,0 +1,80 @@
+"""Metrics-registry overhead check: the default (null) path must be free.
+
+The registry instruments the cache/runner/sweep layer, not the simulator
+core, so this benchmark times a cold cache fill through ``run_point`` —
+the most instrumented code path — once with the default ``NullRegistry``
+and once with a live ``MetricsRegistry``, each into its own fresh cache
+directory.  It asserts (a) both fills produce the identical simulated
+outcome (metrics are observers, never inputs) and (b) the default run is
+not slower than the instrumented one beyond scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common import metrics
+from repro.experiments import configs
+from repro.experiments.runner import run_point
+
+SCALE = 0.05
+ROUNDS = 3
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    held = metrics.METRICS
+    yield
+    metrics.METRICS = held
+
+
+def _run(tmp_path, monkeypatch, label: str) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for round_index in range(ROUNDS):
+        cache = tmp_path / f"{label}-{round_index}"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        t0 = time.perf_counter()
+        result = run_point(configs.fbarre(), "gemv", scale=SCALE)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_null_registry_overhead_within_noise(benchmark, tmp_path,
+                                             monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+    metrics.disable()
+    null_time, null_result = _run(tmp_path, monkeypatch, "null")
+
+    registry = metrics.enable()
+    live_time, live_result = _run(tmp_path, monkeypatch, "live")
+
+    # Metrics must be observers: identical simulated outcome.
+    assert null_result.cycles == live_result.cycles
+    assert null_result.walks == live_result.walks
+    assert null_result.translation_latency == live_result.translation_latency
+
+    # The live registry actually saw the instrumented fills.
+    assert registry.counter_total("repro_simulations_total") == ROUNDS
+    assert registry.counter_total("repro_cache_requests_total") == ROUNDS
+
+    # The default path must not cost more than the instrumented one plus
+    # noise (2x covers scheduler jitter on loaded CI machines; the point
+    # is to catch an accidentally always-on registry, which would erase
+    # the difference entirely and slow the null side down).
+    assert null_time <= live_time * 2.0, (
+        f"NullRegistry fill ({null_time:.3f}s) should not be slower than "
+        f"an instrumented fill ({live_time:.3f}s) beyond noise")
+    print(f"\nnull {null_time * 1e3:.1f} ms vs instrumented "
+          f"{live_time * 1e3:.1f} ms "
+          f"({live_time / null_time:.2f}x instrumented cost)")
+
+    # Also record the default run in pytest-benchmark's output.
+    metrics.disable()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "bench"))
+    benchmark.pedantic(
+        lambda: run_point(configs.fbarre(), "gemv", scale=SCALE),
+        rounds=1, iterations=1)

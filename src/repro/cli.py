@@ -15,6 +15,9 @@ Commands:
 * ``serve``  — run the simulation-as-a-service HTTP job API: submit
   point-sets/figures/validate runs as jobs, poll progress, fetch cached
   results (see docs/service.md).
+* ``explore`` — render figure comparisons, latency percentiles, phase
+  breakdowns, and SIM_VERSION diffs from the result cache — with zero
+  simulations, asserted (see docs/observability.md).
 * ``list``   — list apps, schemes, and figures.
 """
 
@@ -94,6 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="miss scheduler (default: REPRO_SCHEDULER "
                                 "or affinity)")
+    sweep_cmd.add_argument("--events", default=None, metavar="PATH",
+                           help="append the run's structured events "
+                                "(JSONL) to PATH")
 
     trace = sub.add_parser(
         "trace", help="trace one point's translation path and export spans")
@@ -164,6 +170,27 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="results",
                         help="bench output directory (default: results)")
 
+    explore = sub.add_parser(
+        "explore",
+        help="render reports from the result cache (zero simulations)")
+    explore.add_argument("--cache", default=None, metavar="DIR",
+                         help="cache directory to explore "
+                              "(default: the active REPRO_CACHE_DIR)")
+    explore.add_argument("--sim-version", default=None, metavar="VER",
+                         help="restrict comparison tables to one "
+                              "SIM_VERSION (default: mix manifest-less "
+                              "entries freely)")
+    explore.add_argument("--trace", default=None, metavar="JSONL",
+                         help="banked span export (repro trace --format "
+                              "jsonl) to re-render as a phase breakdown")
+    explore.add_argument("--diff", nargs=2, default=None,
+                         metavar=("VER_A", "VER_B"),
+                         help="side-by-side cycles diff of two "
+                              "SIM_VERSION generations")
+    explore.add_argument("--html", default=None, metavar="PATH",
+                         help="also write a static self-contained HTML "
+                              "report to PATH")
+
     sub.add_parser("list", help="list apps, schemes, figures")
     return parser
 
@@ -227,8 +254,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             "nothing to sweep; pass --schemes/--apps, --figures, "
             "or --warm-cache")
-    outcome = sweep(points, jobs=args.jobs, dry_run=args.dry_run,
-                    scheduler=args.scheduler)
+    events = None
+    if args.events:
+        from repro.obs.eventlog import RunEventLog
+        events = RunEventLog(args.events)
+    try:
+        outcome = sweep(points, jobs=args.jobs, dry_run=args.dry_run,
+                        scheduler=args.scheduler, events=events)
+    finally:
+        if events is not None:
+            events.close()
     print(f"[sweep] {outcome.stats.describe(dry_run=args.dry_run)}")
     if args.dry_run and outcome.plan:
         print("[sweep] cost-model schedule (per-worker queues, "
@@ -337,6 +372,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.common import metrics
+    from repro.obs import catalog, reports
+
+    # The explorer's contract is *zero simulations*: enable the metrics
+    # registry and assert the simulation counter did not move while the
+    # report rendered.  (Everything below reads cached payloads only;
+    # this turns that design intent into a checked invariant.)
+    registry = metrics.enable()
+    before = registry.counter_total("repro_simulations_total")
+
+    entries = catalog.scan(args.cache)
+    sections = [reports.overview(entries),
+                reports.figure_comparison(entries,
+                                          sim_version=args.sim_version),
+                reports.latency_table(entries,
+                                      sim_version=args.sim_version)]
+    if args.trace:
+        sections.append(reports.phase_breakdown(args.trace))
+    if args.diff:
+        sections.append(reports.version_diff(entries, args.diff[0],
+                                             args.diff[1]))
+    if args.html:
+        out = Path(args.html)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(reports.render_html(
+            entries, sim_version=args.sim_version, trace_path=args.trace,
+            diff=tuple(args.diff) if args.diff else None))
+        sections.append(f"wrote {out}")
+
+    simulated = int(registry.counter_total("repro_simulations_total")
+                    - before)
+    if simulated:
+        raise SystemExit(
+            f"explore must never simulate, but ran {simulated} "
+            f"simulation(s) — this is a bug in repro.obs")
+    print("\n\n".join(sections))
+    print(f"\n[explore] rendered {len(entries)} cached points, "
+          f"{simulated} simulations")
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("apps: " + ", ".join(f"{a}({CATEGORY_OF[a][0]})"
                                for a in APP_ORDER))
@@ -351,7 +430,7 @@ def main(argv: list[str] | None = None) -> int:
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
                 "trace": _cmd_trace, "validate": _cmd_validate,
                 "serve": _cmd_serve, "report": _cmd_report,
-                "list": _cmd_list}
+                "explore": _cmd_explore, "list": _cmd_list}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,325 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+The operational counterpart of :mod:`repro.common.trace`'s span tracer —
+and built on the same principle: **off by default, zero-overhead null
+path**.  The module-level :data:`METRICS` handle starts as a
+:class:`NullRegistry` whose instrument getters hand back one shared
+no-op instrument, so an instrumentation site in default mode costs an
+attribute lookup plus an empty method call.  Instrumented sites live on
+the *orchestration* paths (cache probes, sweep bookkeeping, HTTP
+requests) — never inside the per-event simulation kernel — and
+``benchmarks/bench_metrics_overhead.py`` pins the disabled path to the
+enabled one within noise.
+
+Enabling (:func:`enable`, or ``REPRO_METRICS=1`` in the environment)
+swaps in a real :class:`MetricsRegistry`.  The service does this at
+construction so ``GET /metrics`` is live out of the box; the CLI
+default path stays null, which is what keeps golden-run digests and the
+perf gates untouched.
+
+Metrics are process-local: a sweep's worker processes keep their own
+(null, unless their environment enables them) registries, and the
+parent records fleet-level numbers (points simulated, steals,
+per-point seconds) from the stats the wire protocol already ships.
+
+Exposition is Prometheus text format 0.0.4 (:meth:`MetricsRegistry.render`):
+``# HELP``/``# TYPE`` headers, ``name{label="v"} value`` samples, and
+cumulative ``_bucket``/``_sum``/``_count`` series for histograms.
+
+Naming follows Prometheus conventions: counters end in ``_total``,
+timings are ``_seconds`` histograms, and every name is prefixed
+``repro_``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+
+#: Default histogram bucket bounds (seconds-flavoured, like Prometheus').
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   30.0, 60.0, 120.0, 300.0)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class _NullInstrument:
+    """The shared do-nothing instrument every null getter returns."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        return None
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        return None
+
+    def set(self, value: float, **labels) -> None:
+        return None
+
+    def observe(self, value: float, **labels) -> None:
+        return None
+
+
+#: Singleton no-op instrument (compare ``NULL_TRACER``).
+NULL_INSTRUMENT = _NullInstrument()
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical (sorted, hashable) form of a label set."""
+    return tuple(sorted(labels.items())) if labels else ()
+
+
+def _escape(value: object) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(key: tuple, extra: tuple = ()) -> str:
+    pairs = [f'{name}="{_escape(value)}"' for name, value in (*key, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing sample per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._samples: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label set (what the explorer's assertion reads)."""
+        with self._lock:
+            return sum(self._samples.values())
+
+    def _render(self) -> list[str]:
+        with self._lock:
+            return [f"{self.name}{_format_labels(key)} "
+                    f"{_format_value(value)}"
+                    for key, value in sorted(self._samples.items())] \
+                or [f"{self.name} 0"]
+
+
+class Gauge(Counter):
+    """A sample that may go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._samples[_label_key(labels)] = value
+
+
+class HistogramMetric:
+    """Cumulative-bucket histogram (Prometheus semantics, fixed bounds)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock,
+                 buckets: tuple = DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self._lock = lock
+        #: label key -> [per-bucket counts..., +Inf count, sum, samples]
+        self._samples: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            row = self._samples.get(key)
+            if row is None:
+                row = [0] * (len(self.buckets) + 1) + [0.0, 0]
+                self._samples[key] = row
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    row[i] += 1
+                    break
+            else:
+                row[len(self.buckets)] += 1     # +Inf bucket only
+            row[-2] += value
+            row[-1] += 1
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            row = self._samples.get(_label_key(labels))
+            return row[-1] if row else 0
+
+    def sum(self, **labels) -> float:
+        with self._lock:
+            row = self._samples.get(_label_key(labels))
+            return row[-2] if row else 0.0
+
+    def _render(self) -> list[str]:
+        lines: list[str] = []
+        with self._lock:
+            items = sorted(self._samples.items())
+        for key, row in items:
+            cumulative = 0
+            for bound, n in zip((*self.buckets, math.inf),
+                                row[:len(self.buckets) + 1]):
+                cumulative += n
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_format_labels(key, (('le', _format_value(bound)),))}"
+                    f" {cumulative}")
+            lines.append(f"{self.name}_sum{_format_labels(key)} "
+                         f"{_format_value(row[-2])}")
+            lines.append(f"{self.name}_count{_format_labels(key)} "
+                         f"{row[-1]}")
+        return lines
+
+
+class MetricsRegistry:
+    """A live registry: named instruments plus Prometheus rendering."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | HistogramMetric] = {}
+
+    def _get(self, name: str, help: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory(name, help, threading.Lock())
+                self._metrics[name] = metric
+                return metric
+        if metric.kind != factory.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {metric.kind}, "
+                f"not a {factory.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, help, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> HistogramMetric:
+        def factory(n, h, lock):
+            return HistogramMetric(n, h, lock, buckets)
+        factory.kind = "histogram"
+        return self._get(name, help, factory)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def counter_total(self, name: str) -> float:
+        """Summed value of a counter, 0 when it was never registered."""
+        metric = self.get(name)
+        return metric.total() if isinstance(metric, Counter) else 0.0
+
+    def render(self) -> str:
+        """Prometheus text exposition format 0.0.4 (one trailing newline)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric._render())
+        return "\n".join(lines) + "\n" if lines else "\n"
+
+
+class NullRegistry:
+    """The default: every getter returns the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def names(self) -> list[str]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def counter_total(self, name: str) -> float:
+        return 0.0
+
+    def render(self) -> str:
+        return "\n"
+
+
+#: The process-wide handle every instrumentation site goes through.
+#: Always reference it as ``metrics.METRICS`` (module attribute) so an
+#: :func:`enable` mid-process reaches already-imported call sites.
+METRICS: MetricsRegistry | NullRegistry = NullRegistry()
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Swap in a live registry (idempotent) and return it.
+
+    With no argument, keeps the currently enabled registry if there is
+    one — so the service enabling metrics does not wipe counters an
+    embedding test already accumulated.
+    """
+    global METRICS
+    if registry is not None:
+        METRICS = registry
+    elif not METRICS.enabled:
+        METRICS = MetricsRegistry()
+    return METRICS  # type: ignore[return-value]
+
+
+def disable() -> None:
+    """Restore the zero-overhead null registry (drops accumulated data)."""
+    global METRICS
+    METRICS = NullRegistry()
+
+
+if os.environ.get("REPRO_METRICS"):
+    enable()

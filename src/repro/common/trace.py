@@ -243,6 +243,29 @@ def write_spans_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
     return path
 
 
+def read_spans_jsonl(path: str | Path) -> list[Span]:
+    """Reconstruct :class:`Span` objects from a JSONL export.
+
+    The inverse of :func:`write_spans_jsonl` — the experiment explorer
+    uses it to re-render phase breakdowns from banked trace artifacts
+    without re-simulating.  Only finished spans round-trip usefully;
+    open spans (``end`` null) come back open and are skipped by the
+    breakdown renderers, same as live ones.
+    """
+    spans: list[Span] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        span = Span(raw["span"], raw["chiplet"], raw["stream"],
+                    raw["pasid"], raw["vpn"], raw["start"])
+        span.end = raw["end"]
+        span.events = [(cycle, phase) for cycle, phase in raw["events"]]
+        spans.append(span)
+    return spans
+
+
 def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
     """Chrome trace-event objects: one complete ("X") event per interval.
 

@@ -39,6 +39,7 @@ import warnings
 from pathlib import Path
 from typing import Callable
 
+from repro.common import metrics
 from repro.common.config import SimConfig
 from repro.common.stats import Histogram, LatencyHistogram
 from repro.gpu.mcm import McmGpuSimulator, SimResult
@@ -66,6 +67,17 @@ _LOCK_POLL_MAX_S = 0.25
 #: Sidecar (under the cache root) of measured per-point wall-times, which
 #: the sweep scheduler reads to submit misses longest-first.
 _TIMINGS_SIDECAR = Path("meta") / "timings.json"
+
+#: Key-manifest sidecar directory: one small JSON file per cached point
+#: (``meta/keys/<digest>.json``) recording the key's *components* —
+#: sim version, app, scale, tag, canonical config JSON.  The cache
+#: filename only carries a one-way digest, so this is what lets the
+#: experiment explorer (:mod:`repro.obs`) decode a cache entry back into
+#: (app, scheme, scale, SIM_VERSION) without re-deriving every possible
+#: key.  One file per digest (atomic rename) — concurrent fills of
+#: different points never contend, and re-fills are idempotent.
+#: Payload bytes are untouched, so golden cache digests are unchanged.
+_KEYS_SIDECAR = Path("meta") / "keys"
 
 
 def bench_scale() -> float:
@@ -207,7 +219,58 @@ def _atomic_write(path: Path, result: SimResult) -> None:
     os.replace(tmp, path)
 
 
-def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResult:
+def key_manifest_path(digest: str) -> Path | None:
+    """Where a point digest's key manifest lives (None when caching is off)."""
+    root = _cache_dir()
+    if root is None:
+        return None
+    return root / _KEYS_SIDECAR / f"{digest}.json"
+
+
+def _write_key_manifest(path: Path, config: SimConfig, abbr: str,
+                        scale: float, tag: str) -> None:
+    """Record a fill's key components next to the cache (best-effort).
+
+    Called only when a result was actually published, so hit paths pay
+    nothing.  Atomic per-digest files, no merge step — concurrent sweeps
+    cannot lose each other's entries the way a read-merge-replace
+    sidecar could.
+    """
+    digest = path.stem.rsplit("-", 1)[-1]
+    manifest = key_manifest_path(digest)
+    if manifest is None:
+        return
+    payload = {"sim_version": SIM_VERSION, "app": abbr,
+               "scale": scale, "tag": tag, "file": path.name,
+               "config": _config_key(config)}
+    try:
+        manifest.parent.mkdir(parents=True, exist_ok=True)
+        tmp = manifest.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, manifest)
+    except OSError:
+        pass    # the manifest is a catalog hint, never a source of truth
+
+
+def load_key_manifest(digest: str) -> dict | None:
+    """The recorded key components of one cached point, or None.
+
+    Entries filled before the manifest existed (or through a read-only
+    cache) are legitimately absent — the explorer's catalog falls back
+    to the payload's own ``app``/``backend`` fields for those.
+    """
+    manifest = key_manifest_path(digest)
+    if manifest is None:
+        return None
+    try:
+        payload = json.loads(manifest.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _fill_point(path: Path | None, compute: Callable[[], SimResult],
+                key_meta: Callable[[], tuple] | None = None) -> SimResult:
     """Return the cached result at ``path``, filling it under a lockfile.
 
     Concurrency protocol (cache-stampede safety):
@@ -221,18 +284,35 @@ def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResul
        disappears, then read the winner's file.  A lock older than
        ``REPRO_LOCK_STALE`` seconds with no result is presumed to belong
        to a crashed worker and is stolen.
+
+    ``key_meta`` (a lazy ``() -> (config, abbr, scale, tag)``) lets the
+    winner record the point's key components in the catalog manifest
+    after publishing; it is never invoked on a hit.
     """
+    m = metrics.METRICS
     if path is None:
+        m.counter("repro_simulations_total",
+                  "simulation points actually computed").inc()
         return compute()
     if path.exists():
+        m.counter("repro_cache_requests_total",
+                  "point lookups through the fill path").inc(outcome="hit")
         return _load(path)
+    m.counter("repro_cache_requests_total",
+              "point lookups through the fill path").inc(outcome="miss")
     if _cache_dir(create=True) is None:   # cache dir vanished / read-only
+        m.counter("repro_simulations_total",
+                  "simulation points actually computed").inc()
         return compute()
     lock = path.with_suffix(".lock")
     while True:
         try:
             fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
+            m.counter("repro_cache_lock_waits_total",
+                      "lockfile collisions (another worker owns the "
+                      "fill)").inc()
+            wait_start = time.perf_counter()
             delay = _LOCK_POLL_INITIAL_S
             while lock.exists() and not path.exists():
                 with contextlib.suppress(FileNotFoundError):
@@ -241,6 +321,9 @@ def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResul
                         break
                 time.sleep(delay)
                 delay = min(delay * 2, _LOCK_POLL_MAX_S)
+            m.histogram("repro_cache_lock_wait_seconds",
+                        "time spent parked on another worker's "
+                        "lockfile").observe(time.perf_counter() - wait_start)
             if path.exists():
                 return _load(path)
             continue  # lock released or stolen but no result: try to acquire
@@ -248,8 +331,16 @@ def _fill_point(path: Path | None, compute: Callable[[], SimResult]) -> SimResul
         try:
             if path.exists():  # filled while we raced for the lock
                 return _load(path)
+            fill_start = time.perf_counter()
             result = compute()
             _atomic_write(path, result)
+            m.counter("repro_simulations_total",
+                      "simulation points actually computed").inc()
+            m.histogram("repro_cache_fill_seconds",
+                        "wall time to simulate and publish a cache "
+                        "miss").observe(time.perf_counter() - fill_start)
+            if key_meta is not None:
+                _write_key_manifest(path, *key_meta())
             return result
         finally:
             lock.unlink(missing_ok=True)
@@ -365,7 +456,13 @@ def cached_result(config: SimConfig, app: str | Workload,
     abbr = app if isinstance(app, str) else app.abbr
     path = _point_path(config, abbr, scale, workload_tag)
     if path is not None and path.exists():
+        metrics.METRICS.counter(
+            "repro_cache_probe_total",
+            "read-only cache probes (sweep dedupe)").inc(outcome="hit")
         return _load(path)
+    metrics.METRICS.counter(
+        "repro_cache_probe_total",
+        "read-only cache probes (sweep dedupe)").inc(outcome="miss")
     return None
 
 
@@ -385,6 +482,7 @@ def store_point(config: SimConfig, app: str | Workload, result: SimResult,
     if path is None or _cache_dir(create=True) is None:
         return None
     _atomic_write(path, result)
+    _write_key_manifest(path, config, abbr, scale, workload_tag)
     return path
 
 
@@ -407,7 +505,8 @@ def run_point(config: SimConfig, app: str | Workload,
     path = _point_path(config, workload.abbr, scale, workload_tag)
     return _fill_point(
         path,
-        lambda: McmGpuSimulator(config, [workload], trace_scale=scale).run())
+        lambda: McmGpuSimulator(config, [workload], trace_scale=scale).run(),
+        key_meta=lambda: (config, workload.abbr, scale, workload_tag))
 
 
 def run_pair(config: SimConfig, app_a: str, app_b: str,
@@ -427,7 +526,9 @@ def run_pair(config: SimConfig, app_a: str, app_b: str,
                                trace_scale=scale).run()
 
     path = _point_path(config, app_a, scale, f"pair-{app_b}")
-    return _fill_point(path, compute)
+    return _fill_point(path, compute,
+                       key_meta=lambda: (config, app_a, scale,
+                                         f"pair-{app_b}"))
 
 
 def suite_results(config: SimConfig, apps: list[str],

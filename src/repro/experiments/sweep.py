@@ -50,6 +50,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from queue import Empty
 
+from repro.common import metrics
 from repro.common.config import SimConfig
 from repro.experiments import runner
 from repro.gpu import mcm
@@ -148,6 +149,7 @@ class SweepStats:
     elapsed: float = 0.0    #: wall-clock seconds
     memo_hits: int = 0      #: CTA-trace memo hits across all workers
     memo_misses: int = 0    #: CTA-trace memo misses across all workers
+    steals: int = 0         #: points an idle worker drained from a peer queue
     #: Measured wall-time of every simulated miss, by cache key.
     point_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -160,6 +162,8 @@ class SweepStats:
         if self.memo_hits or self.memo_misses:
             line += (f", trace-memo {self.memo_hits} hits / "
                      f"{self.memo_misses} misses")
+        if self.steals:
+            line += f", {self.steals} stolen"
         return line
 
 
@@ -212,6 +216,17 @@ def _run_inline(point: SweepPoint) -> SimResult:
                                point.scale)
     return runner.run_point(point.config, point.app, point.scale,
                             point.workload_tag)
+
+
+def _emit(events, kind: str, **fields) -> None:
+    """Forward one structured run event to the sink, if there is one.
+
+    Events are plain dicts with an ``event`` discriminator; the sink
+    (typically :class:`repro.obs.eventlog.RunEventLog`) owns timestamps
+    and persistence, so the engine stays deterministic and free of I/O.
+    """
+    if events is not None:
+        events({"event": kind, **fields})
 
 
 # --------------------------------------------------------------------------
@@ -348,10 +363,16 @@ def _simulate_point(point: SweepPoint) -> tuple[dict, float, int, int]:
 
 
 def _run_flat(plan: list[PlannedPoint], workers: int, reporter: _Progress,
-              results: dict, stats: SweepStats, cancel=None) -> None:
+              results: dict, stats: SweepStats, cancel=None,
+              events=None) -> None:
     cached = stats.cached
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(_simulate_point, pp.point): pp for pp in plan}
+        futures = {}
+        for pp in plan:
+            futures[pool.submit(_simulate_point, pp.point)] = pp
+            _emit(events, "point_start",
+                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                  worker=pp.worker)
         reporter.update(cached, running=len(futures))
         done = 0
         for future in as_completed(futures):
@@ -368,6 +389,9 @@ def _run_flat(plan: list[PlannedPoint], workers: int, reporter: _Progress,
             stats.memo_hits += memo_hits
             stats.memo_misses += memo_misses
             done += 1
+            _emit(events, "point_finish",
+                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                  seconds=round(seconds, 4), stolen=False, worker=pp.worker)
             reporter.update(cached + done, running=len(futures) - done)
 
 
@@ -380,19 +404,24 @@ def _affinity_worker(worker_id: int, inboxes: list, result_q,
     """Worker loop: drain the own queue, then steal from the others.
 
     Each inbox item is ``(index, point)``; each result is ``(index,
-    payload_or_None, seconds, memo_hits, memo_misses, error_or_None)``.
-    The worker publishes through the runner's cache (``_run_inline`` →
-    ``run_point`` → atomic write) and ships ``payload=None`` when the
-    cache file landed — the parent loads it from disk — falling back to
-    the full payload under ``REPRO_NO_CACHE`` or an unwritable cache.
+    payload_or_None, seconds, memo_hits, memo_misses, stolen,
+    error_or_None)`` — ``stolen`` records whether the point came from a
+    peer's queue, which the parent aggregates into ``SweepStats.steals``
+    and the run-event log.  The worker publishes through the runner's
+    cache (``_run_inline`` → ``run_point`` → atomic write) and ships
+    ``payload=None`` when the cache file landed — the parent loads it
+    from disk — falling back to the full payload under
+    ``REPRO_NO_CACHE`` or an unwritable cache.
     """
     order = [worker_id] + [i for i in range(len(inboxes)) if i != worker_id]
     memo = mcm.TRACE_MEMO
     while not stop.is_set():
         item = None
+        stolen = False
         for source in order:
             try:
                 item = inboxes[source].get_nowait()
+                stolen = source != worker_id
                 break
             except Empty:
                 continue
@@ -411,9 +440,11 @@ def _affinity_worker(worker_id: int, inboxes: list, result_q,
             if path is None or not path.exists():
                 payload = runner._serialize(result)
             result_q.put((index, payload, seconds,
-                          memo.hits - hits, memo.misses - misses, None))
+                          memo.hits - hits, memo.misses - misses, stolen,
+                          None))
         except Exception:
-            result_q.put((index, None, 0.0, 0, 0, traceback.format_exc()))
+            result_q.put((index, None, 0.0, 0, 0, stolen,
+                          traceback.format_exc()))
 
 
 def _drain(q) -> None:
@@ -425,13 +456,17 @@ def _drain(q) -> None:
 
 
 def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
-                  results: dict, stats: SweepStats, cancel=None) -> None:
+                  results: dict, stats: SweepStats, cancel=None,
+                  events=None) -> None:
     ctx = multiprocessing.get_context()
     inboxes = [ctx.Queue() for _ in range(workers)]
     result_q = ctx.Queue()
     stop = ctx.Event()
     for index, pp in enumerate(plan):
         inboxes[pp.worker].put((index, pp.point))
+        _emit(events, "point_start",
+              digest=runner.point_digest(pp.key), app=pp.point.abbr,
+              worker=pp.worker)
     procs = [ctx.Process(target=_affinity_worker,
                          args=(w, inboxes, result_q, stop), daemon=True)
              for w in range(workers)]
@@ -449,7 +484,7 @@ def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
                 raise SweepCancelled(
                     f"sweep cancelled with {pending} misses outstanding")
             try:
-                (index, payload, seconds, memo_hits, memo_misses,
+                (index, payload, seconds, memo_hits, memo_misses, stolen,
                  error) = result_q.get(timeout=0.25)
             except Empty:
                 crashed = [p for p in procs if p.exitcode not in (None, 0)]
@@ -475,7 +510,12 @@ def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
             stats.point_seconds[pp.key] = seconds
             stats.memo_hits += memo_hits
             stats.memo_misses += memo_misses
+            stats.steals += int(stolen)
             pending -= 1
+            _emit(events, "point_finish",
+                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                  seconds=round(seconds, 4), stolen=bool(stolen),
+                  worker=pp.worker)
             reporter.update(cached + len(plan) - pending,
                             running=min(workers, pending))
     finally:
@@ -497,7 +537,8 @@ def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
 
 def sweep(points, jobs: int | None = None, progress: bool | None = None,
           dry_run: bool = False, scheduler: str | None = None,
-          observer=None, cancel: threading.Event | None = None) -> SweepOutcome:
+          observer=None, cancel: threading.Event | None = None,
+          events=None) -> SweepOutcome:
     """Deduplicate ``points`` against the cache and schedule the misses.
 
     Returns results in submission order (duplicates each get the shared
@@ -514,6 +555,12 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
     records the timings of everything that finished, and raises
     :class:`SweepCancelled`.  Together they make a sweep drivable as a
     background job (:class:`SweepJob`, the service API).
+
+    ``events`` is a callable receiving structured run-event dicts
+    (``sweep_start``, ``point_cache_hit``, ``point_start``,
+    ``point_finish``, ``sweep_cancelled``, ``sweep_finish`` — see
+    ``docs/observability.md``); :class:`repro.obs.eventlog.RunEventLog`
+    is the JSONL-persisting sink the service wires in.
     """
     points = list(points)
     if runner.is_collecting():
@@ -534,6 +581,7 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
         unique.setdefault(key, point)
     results: dict[str, SimResult | None] = {}
     misses: list[tuple[str, SweepPoint]] = []
+    hits: list[tuple[str, SweepPoint]] = []
     for key, point in unique.items():
         hit = runner.cached_result(point.config, point.abbr, point.scale,
                                    point.tag)
@@ -541,8 +589,15 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
             misses.append((key, point))
         else:
             results[key] = hit
+            hits.append((key, point))
     cached = len(results)
     stats = SweepStats(total=len(points), unique=len(unique), cached=cached)
+    _emit(events, "sweep_start", total=stats.total, unique=stats.unique,
+          cached=cached, misses=len(misses), scheduler=scheduler,
+          dry_run=dry_run)
+    for key, point in hits:
+        _emit(events, "point_cache_hit",
+              digest=runner.point_digest(key), app=point.abbr)
     plan: list[PlannedPoint] = []
     reporter = _Progress(len(unique), cached, enabled=progress,
                          observer=observer)
@@ -567,13 +622,21 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
                         raise SweepCancelled(
                             f"sweep cancelled with {len(plan) - done} "
                             f"misses outstanding")
+                    _emit(events, "point_start",
+                          digest=runner.point_digest(pp.key),
+                          app=pp.point.abbr, worker=0)
                     hits, memo_misses = memo.hits, memo.misses
                     t0 = time.perf_counter()
                     results[pp.key] = _run_inline(pp.point)
-                    stats.point_seconds[pp.key] = time.perf_counter() - t0
+                    seconds = time.perf_counter() - t0
+                    stats.point_seconds[pp.key] = seconds
                     stats.memo_hits += memo.hits - hits
                     stats.memo_misses += memo.misses - memo_misses
                     done += 1
+                    _emit(events, "point_finish",
+                          digest=runner.point_digest(pp.key),
+                          app=pp.point.abbr, seconds=round(seconds, 4),
+                          stolen=False, worker=0)
                     reporter.update(cached + done,
                                     running=int(done < len(plan)))
             else:
@@ -581,10 +644,16 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
                 plan = plan_misses(misses, workers)
                 if scheduler == "flat":
                     _run_flat(plan, workers, reporter, results, stats,
-                              cancel=cancel)
+                              cancel=cancel, events=events)
                 else:
                     _run_affinity(plan, workers, reporter, results, stats,
-                                  cancel=cancel)
+                                  cancel=cancel, events=events)
+        except SweepCancelled as exc:
+            _emit(events, "sweep_cancelled", error=str(exc))
+            metrics.METRICS.counter(
+                "repro_sweeps_total", "sweep() calls by outcome").inc(
+                outcome="cancelled")
+            raise
         finally:
             # A cancelled run still banks the wall-times it measured —
             # the cost model should learn from every completed point.
@@ -596,6 +665,33 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
     if observer is not None:
         observer(reporter.snapshot(cached + len(stats.point_seconds),
                                    running=0))
+    reg = metrics.METRICS
+    if reg.enabled:
+        pts = reg.counter("repro_sweep_points_total",
+                          "sweep points by disposition")
+        pts.inc(cached, status="cached")
+        pts.inc(len(stats.point_seconds), status="simulated")
+        if stats.steals:
+            reg.counter("repro_sweep_steals_total",
+                        "points drained from a peer worker queue").inc(
+                stats.steals)
+        memo = reg.counter("repro_sweep_memo_total",
+                           "CTA-trace memo lookups across sweep workers")
+        if stats.memo_hits:
+            memo.inc(stats.memo_hits, outcome="hit")
+        if stats.memo_misses:
+            memo.inc(stats.memo_misses, outcome="miss")
+        secs = reg.histogram("repro_sweep_point_seconds",
+                             "measured wall-time of each simulated point")
+        for seconds in stats.point_seconds.values():
+            secs.observe(seconds)
+        reg.counter("repro_sweeps_total", "sweep() calls by outcome").inc(
+            outcome="dry-run" if dry_run else "completed")
+    _emit(events, "sweep_finish", total=stats.total, unique=stats.unique,
+          cached=stats.cached, simulated=len(stats.point_seconds),
+          steals=stats.steals, memo_hits=stats.memo_hits,
+          memo_misses=stats.memo_misses, jobs=stats.jobs,
+          elapsed=round(stats.elapsed, 4), dry_run=dry_run)
     return SweepOutcome([results[key] for key in keys], stats, plan)
 
 
@@ -655,10 +751,14 @@ class SweepJob:
 
     def __init__(self, points, jobs: int | None = None,
                  scheduler: str | None = None,
-                 cancel_event: threading.Event | None = None):
+                 cancel_event: threading.Event | None = None,
+                 events=None):
         self.points = list(points)
         self.jobs = jobs
         self.scheduler = scheduler
+        #: Structured run-event sink (see :func:`sweep`); progress
+        #: snapshots are forwarded to it too, as ``progress`` events.
+        self.events = events
         self.state = "pending"
         self.outcome: SweepOutcome | None = None
         self.error: str | None = None
@@ -675,6 +775,11 @@ class SweepJob:
 
     def _observe(self, snap: dict) -> None:
         self._progress = snap
+        if self.events is not None:
+            try:
+                self.events({"event": "progress", **snap})
+            except Exception:
+                pass    # a broken sink must never kill the sweep
 
     def run(self) -> SweepOutcome | None:
         """Execute (or resume) the sweep in the calling thread."""
@@ -691,7 +796,7 @@ class SweepJob:
         try:
             outcome = sweep(self.points, jobs=self.jobs, progress=False,
                             scheduler=self.scheduler, observer=self._observe,
-                            cancel=self._cancel)
+                            cancel=self._cancel, events=self.events)
         except SweepCancelled as exc:
             with self._lock:
                 self.state, self.error = "cancelled", str(exc)
@@ -743,5 +848,6 @@ class SweepJob:
                     "elapsed": round(stats.elapsed, 4),
                     "memo_hits": stats.memo_hits,
                     "memo_misses": stats.memo_misses,
+                    "steals": stats.steals,
                 }
             return snap

@@ -12,11 +12,15 @@ Routes (full reference with schemas and curl examples: ``docs/service.md``):
 GET    /healthz            liveness + version
 GET    /meta               apps, schemes, figures, schedulers
 POST   /jobs               submit a job (points | figure | validate)
-GET    /jobs               list jobs (summaries)
+GET    /jobs               list jobs (``?state=``, ``?limit=``;
+                           newest first)
 GET    /jobs/{id}          one job: state, progress, result
 DELETE /jobs/{id}          cancel (point-boundary deterministic)
 GET    /results/{key}      raw cached payload by point digest
 GET    /stats              job counts + per-client quota usage
+GET    /metrics            Prometheus text exposition of the registry
+GET    /sweeps             result-cache catalog (decoded points)
+GET    /sweeps/{digest}    one cached point: key components + payload
 ====== ================== ===========================================
 
 ``GET /results/{key}`` streams the cache file *bytes verbatim* — the
@@ -33,8 +37,10 @@ import re
 import signal
 import sys
 import threading
+import urllib.parse
 from dataclasses import dataclass, field
 
+from repro.common import metrics
 from repro.service.jobs import JobStore, StoreClosing
 from repro.service.quotas import QuotaExceeded
 from repro.service.schemas import SchemaError, parse_job_request
@@ -76,6 +82,12 @@ ROUTES: tuple[Route, ...] = (
           "raw cached result payload by point digest"),
     Route("GET", "/stats", "handle_stats",
           "job counts and per-client quota usage"),
+    Route("GET", "/metrics", "handle_metrics",
+          "metrics registry in Prometheus text exposition format"),
+    Route("GET", "/sweeps", "handle_sweeps",
+          "result-cache catalog: every cached point, decoded"),
+    Route("GET", "/sweeps/{digest}", "handle_sweep_detail",
+          "one cached point: key components, latency, payload"),
 )
 
 _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
@@ -115,15 +127,25 @@ class Response:
 
 
 class ServiceApp:
-    """Routing + handlers; owns a :class:`JobStore`."""
+    """Routing + handlers; owns a :class:`JobStore`.
 
-    def __init__(self, store: JobStore | None = None):
+    Construction enables the process metrics registry by default (so
+    ``GET /metrics`` is live out of the box); pass
+    ``enable_metrics=False`` to keep the zero-overhead null registry —
+    the route then serves an empty exposition.
+    """
+
+    def __init__(self, store: JobStore | None = None,
+                 enable_metrics: bool = True):
         self.store = store or JobStore()
+        if enable_metrics:
+            metrics.enable()
 
     # -- dispatch -----------------------------------------------------------
 
     async def dispatch(self, method: str, path: str, headers: dict,
-                       body: bytes) -> Response:
+                       body: bytes, query: dict | None = None) -> Response:
+        query = query or {}
         path_matched = False
         for route in ROUTES:
             match = route.regex.match(path)
@@ -132,23 +154,37 @@ class ServiceApp:
             path_matched = True
             if route.method != method:
                 continue
-            try:
-                return getattr(self, route.handler)(
-                    headers, body, **match.groupdict())
-            except SchemaError as exc:
-                return Response.error(400, str(exc))
-            except QuotaExceeded as exc:
-                headers_out = {}
-                if exc.retry_after is not None:
-                    headers_out["Retry-After"] = str(
-                        max(1, round(exc.retry_after)))
-                return Response.error(429, exc.reason, headers=headers_out)
-            except StoreClosing as exc:
-                return Response.error(503, str(exc))
+            response = await self._invoke(route, headers, body, query,
+                                          match.groupdict())
+            metrics.METRICS.counter(
+                "repro_http_requests_total",
+                "HTTP requests by route, method, and status").inc(
+                route=route.template, method=method,
+                status=response.status)
+            return response
         if path_matched:
             return Response.error(405, f"method {method} not allowed on "
                                        f"{path}")
         return Response.error(404, f"no route for {path}")
+
+    async def _invoke(self, route: Route, headers: dict, body: bytes,
+                      query: dict, params: dict) -> Response:
+        try:
+            return getattr(self, route.handler)(
+                headers, body, query, **params)
+        except SchemaError as exc:
+            return Response.error(400, str(exc))
+        except QuotaExceeded as exc:
+            metrics.METRICS.counter(
+                "repro_quota_rejections_total",
+                "submissions rejected by the quota ledger").inc()
+            headers_out = {}
+            if exc.retry_after is not None:
+                headers_out["Retry-After"] = str(
+                    max(1, round(exc.retry_after)))
+            return Response.error(429, exc.reason, headers=headers_out)
+        except StoreClosing as exc:
+            return Response.error(503, str(exc))
 
     @staticmethod
     def _token(headers: dict) -> str:
@@ -156,14 +192,14 @@ class ServiceApp:
 
     # -- handlers -----------------------------------------------------------
 
-    def handle_healthz(self, headers, body) -> Response:
+    def handle_healthz(self, headers, body, query) -> Response:
         from repro.experiments.runner import SIM_VERSION
         return Response.json({
             "status": "shutting-down" if self.store.closing else "ok",
             "sim_version": SIM_VERSION,
         })
 
-    def handle_meta(self, headers, body) -> Response:
+    def handle_meta(self, headers, body, query) -> Response:
         from repro.cli import SCHEMES
         from repro.experiments.registry import FIGURES
         from repro.experiments.sweep import SCHEDULERS
@@ -175,7 +211,7 @@ class ServiceApp:
             "schedulers": list(SCHEDULERS),
         })
 
-    def handle_submit(self, headers, body) -> Response:
+    def handle_submit(self, headers, body, query) -> Response:
         try:
             payload = json.loads(body or b"")
         except json.JSONDecodeError as exc:
@@ -184,24 +220,45 @@ class ServiceApp:
         job = self.store.submit(spec, self._token(headers))
         return Response.json(job.to_dict(verbose=False), status=202)
 
-    def handle_list_jobs(self, headers, body) -> Response:
+    def handle_list_jobs(self, headers, body, query) -> Response:
+        from repro.service.jobs import JOB_STATES
+        state = query.get("state")
+        if state is not None and state not in JOB_STATES:
+            return Response.error(
+                400, f"unknown state {state!r} "
+                     f"(choose from {', '.join(JOB_STATES)})")
+        limit = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                return Response.error(
+                    400, f"limit must be an integer, got {query['limit']!r}")
+            if limit < 0:
+                return Response.error(400, "limit must be >= 0")
+        jobs = list(reversed(self.store.list()))    # newest first
+        if state is not None:
+            jobs = [job for job in jobs if job.state == state]
+        total = len(jobs)
+        if limit is not None:
+            jobs = jobs[:limit]
         return Response.json(
-            {"jobs": [job.to_dict(verbose=False)
-                      for job in self.store.list()]})
+            {"jobs": [job.to_dict(verbose=False) for job in jobs],
+             "total": total})
 
-    def handle_get_job(self, headers, body, id: str) -> Response:
+    def handle_get_job(self, headers, body, query, id: str) -> Response:
         job = self.store.get(id)
         if job is None:
             return Response.error(404, f"no such job {id!r}")
         return Response.json(job.to_dict())
 
-    def handle_cancel_job(self, headers, body, id: str) -> Response:
+    def handle_cancel_job(self, headers, body, query, id: str) -> Response:
         job = self.store.cancel(id)
         if job is None:
             return Response.error(404, f"no such job {id!r}")
         return Response.json(job.to_dict(verbose=False))
 
-    def handle_get_result(self, headers, body, key: str) -> Response:
+    def handle_get_result(self, headers, body, query, key: str) -> Response:
         from repro.experiments.runner import result_path_by_digest
         path = result_path_by_digest(key)
         if path is None:
@@ -211,7 +268,7 @@ class ServiceApp:
         # Verbatim cache-file bytes: byte-identical to the CLI path.
         return Response(status=200, body=path.read_bytes())
 
-    def handle_stats(self, headers, body) -> Response:
+    def handle_stats(self, headers, body, query) -> Response:
         import time
         quota = self.store.quota
         return Response.json({
@@ -221,6 +278,25 @@ class ServiceApp:
             "clients": {token: quota.usage(token)
                         for token in quota.tokens()},
         })
+
+    def handle_metrics(self, headers, body, query) -> Response:
+        return Response(
+            status=200, body=metrics.METRICS.render().encode(),
+            content_type="text/plain; version=0.0.4; charset=utf-8")
+
+    def handle_sweeps(self, headers, body, query) -> Response:
+        from repro.obs.catalog import catalog_index
+        return Response.json(catalog_index())
+
+    def handle_sweep_detail(self, headers, body, query,
+                            digest: str) -> Response:
+        from repro.obs.catalog import entry_by_digest
+        entry = entry_by_digest(digest)
+        if entry is None:
+            return Response.error(
+                404, f"no cached point for digest {digest!r} (not yet "
+                     f"simulated, malformed digest, or caching is off)")
+        return Response.json(entry.to_dict(verbose=True))
 
 
 # --------------------------------------------------------------------------
@@ -263,9 +339,14 @@ async def handle_connection(app: ServiceApp, reader, writer) -> None:
         if int(headers.get("content-length", "0") or "0") > MAX_BODY_BYTES:
             response = Response.error(413, "request body too large")
         else:
-            path = target.split("?", 1)[0]
+            path, _, raw_query = target.partition("?")
+            # Last value wins for repeated keys — the routes take scalars.
+            query = {name: values[-1] for name, values
+                     in urllib.parse.parse_qs(raw_query,
+                                              keep_blank_values=True).items()}
             try:
-                response = await app.dispatch(method, path, headers, body)
+                response = await app.dispatch(method, path, headers, body,
+                                              query=query)
             except Exception as exc:   # a handler bug must not kill the server
                 response = Response.error(
                     500, f"internal error: {type(exc).__name__}: {exc}")

@@ -27,10 +27,16 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.common import metrics
 from repro.service.quotas import QuotaLedger, QuotaPolicy
 from repro.service.schemas import JobSpec
+
+#: Longest traceback a failed job's payload carries (tail-truncated —
+#: the raising frame is at the bottom, so the tail is the useful part).
+MAX_TRACEBACK_CHARS = 2000
 
 #: Lifecycle states (see the module docstring for the transitions).
 JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
@@ -52,12 +58,15 @@ class Job:
         self.points = points            #: materialized SweepPoints ([] = n/a)
         self.state = "queued"
         self.error: str | None = None
+        self.error_type: str | None = None
+        self.traceback: str | None = None
         self.result: dict | None = None
         self.created = time.time()
         self.started: float | None = None
         self.finished: float | None = None
         self.cancel_event = threading.Event()
         self.sweep_job = None           #: SweepJob once running (points/figure)
+        self.event_log = None           #: RunEventLog once running (sweeps)
         self.quota_released = False
 
     @property
@@ -91,6 +100,12 @@ class Job:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.error_type is not None:
+            out["error_type"] = self.error_type
+        if verbose and self.traceback is not None:
+            out["traceback"] = self.traceback
+        if self.event_log is not None and self.event_log.path is not None:
+            out["event_log"] = str(self.event_log.path)
         if verbose and self.result is not None:
             out["result"] = self.result
         return out
@@ -157,19 +172,36 @@ class JobStore:
                     "service is shutting down; not accepting jobs")
             self._jobs[job_id] = job
             self._order.append(job_id)
+        metrics.METRICS.counter(
+            "repro_jobs_submitted_total", "jobs admitted, by kind").inc(
+            kind=spec.kind)
         self._executor.submit(self._run, job)
         return job
 
     # -- execution ----------------------------------------------------------
 
-    def _finish(self, job: Job, state: str, error: str | None = None) -> None:
+    def _finish(self, job: Job, state: str, error: str | None = None,
+                error_type: str | None = None,
+                trace: str | None = None) -> None:
         with self._lock:
             job.state = state
             job.error = error if error is not None else job.error
+            job.error_type = error_type
+            job.traceback = trace
             job.finished = time.time()
             if not job.quota_released:
                 job.quota_released = True
                 self.quota.release(job.token)
+        if job.event_log is not None:
+            job.event_log.close()
+        metrics.METRICS.counter(
+            "repro_jobs_finished_total",
+            "jobs reaching a terminal state, by state").inc(state=state)
+        if job.started is not None:
+            metrics.METRICS.histogram(
+                "repro_job_seconds",
+                "wall time from job start to terminal state").observe(
+                job.finished - job.started)
 
     def _run(self, job: Job) -> None:
         with self._lock:
@@ -192,18 +224,32 @@ class JobStore:
                 job.result = result
                 self._finish(job, "completed")
         except Exception as exc:          # surfaced to the polling client
-            self._finish(job, "failed", f"{type(exc).__name__}: {exc}")
+            trace = traceback_module.format_exc()
+            if len(trace) > MAX_TRACEBACK_CHARS:
+                trace = "... (truncated)\n" + trace[-MAX_TRACEBACK_CHARS:]
+            self._finish(job, "failed", f"{type(exc).__name__}: {exc}",
+                         error_type=type(exc).__name__, trace=trace)
 
     def _run_sweep(self, job: Job):
         """Drive a SweepJob for this job's points; None when cancelled."""
         from repro.experiments.sweep import SweepJob
+        from repro.obs.eventlog import RunEventLog, event_log_path
+        # One JSONL event log per job, next to the cache (meta/events/):
+        # the run's full timeline — cache hits, steals, per-point seconds,
+        # cancellation — reconstructible after the job is gone.
+        if job.event_log is None:
+            try:
+                job.event_log = RunEventLog(event_log_path(job.id))
+            except (ValueError, OSError):
+                job.event_log = RunEventLog(None)
         # Sharing the job's cancel event means a DELETE that lands mid-run
         # stops the scheduler directly, not just flags the job record.
         job.sweep_job = SweepJob(
             job.points,
             jobs=job.spec.sweep_jobs or self.sweep_jobs,
             scheduler=job.spec.scheduler or self.scheduler,
-            cancel_event=job.cancel_event)
+            cancel_event=job.cancel_event,
+            events=job.event_log)
         return job.sweep_job.run()
 
     @staticmethod

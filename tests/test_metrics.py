@@ -1,0 +1,240 @@
+"""Unit tests for the metrics registry (repro.common.metrics).
+
+Covers the null default (zero-overhead path), instrument semantics
+(counter monotonicity, gauge set/dec, histogram bucketing), label
+handling, kind-conflict detection, enable/disable swapping, and the
+Prometheus text exposition format — validated with a small strict
+parser rather than by substring checks.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.common import metrics
+from repro.common.metrics import (
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+#: One exposition sample line: name, optional {labels}, value.  Label
+#: values are quoted strings and may contain any escaped character —
+#: including braces and commas (e.g. route="/jobs/{id}") — so the pair
+#: list is validated by re-joining matched pairs, not by splitting.
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{.*\})?'
+    r' (?P<value>-?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|\+Inf|NaN))$')
+_LABEL_PAIR_RE = re.compile(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"')
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Strictly parse Prometheus text format 0.0.4; raises on bad lines.
+
+    Returns metric name -> {"type": ..., "samples": {(line label str):
+    value}} with ``_bucket``/``_sum``/``_count`` series attributed to
+    their histogram's base name.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    metrics_seen: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[name] = kind
+            metrics_seen[name] = {"type": kind, "samples": {}}
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = match.group("labels")
+        if labels:
+            inner = labels[1:-1]
+            pairs = _LABEL_PAIR_RE.findall(inner)
+            assert ",".join(pairs) == inner, f"malformed labels: {inner!r}"
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        owner = name if name in metrics_seen else base
+        assert owner in metrics_seen, f"sample before TYPE: {line!r}"
+        value = match.group("value")
+        metrics_seen[owner]["samples"][line.rsplit(" ", 1)[0]] = (
+            math.inf if value == "+Inf" else float(value))
+    return metrics_seen
+
+
+class TestNullPath:
+    def test_default_registry_is_null(self):
+        assert isinstance(NullRegistry(), NullRegistry)
+        reg = NullRegistry()
+        assert reg.enabled is False
+        assert reg.counter("x") is NULL_INSTRUMENT
+        assert reg.gauge("x") is NULL_INSTRUMENT
+        assert reg.histogram("x") is NULL_INSTRUMENT
+
+    def test_null_instrument_accepts_everything_silently(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.inc(5, outcome="hit")
+        NULL_INSTRUMENT.dec(2)
+        NULL_INSTRUMENT.set(42.0, worker="3")
+        NULL_INSTRUMENT.observe(0.001)
+
+    def test_null_registry_renders_empty_exposition(self):
+        reg = NullRegistry()
+        assert reg.render() == "\n"
+        assert reg.names() == []
+        assert reg.get("anything") is None
+        assert reg.counter_total("anything") == 0.0
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labels_partition_samples(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        c.inc(outcome="hit")
+        c.inc(2, outcome="miss")
+        assert c.value(outcome="hit") == 1
+        assert c.value(outcome="miss") == 2
+        assert c.value() == 0
+        assert c.total() == 3
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.histogram("x_total")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+        g.inc(-12)
+        assert g.value() == 0
+
+
+class TestHistogram:
+    def test_bucketing_and_sum(self):
+        h = MetricsRegistry().histogram("repro_s", buckets=(0.1, 1.0))
+        h.observe(0.05)     # <= 0.1
+        h.observe(0.5)      # <= 1.0
+        h.observe(100.0)    # +Inf
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(100.55)
+
+    def test_labelled_series_are_independent(self):
+        h = MetricsRegistry().histogram("repro_s", buckets=(1.0,))
+        h.observe(0.5, op="read")
+        h.observe(0.5, op="write")
+        h.observe(0.5, op="write")
+        assert h.count(op="read") == 1
+        assert h.count(op="write") == 2
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_s", buckets=())
+
+
+class TestExposition:
+    def test_render_parses_and_is_cumulative(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_hits_total", "cache hits").inc(3, kind="l1")
+        reg.gauge("repro_depth", "queue depth").set(7)
+        h = reg.histogram("repro_wait_seconds", "wait", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(9.0)
+        parsed = parse_exposition(reg.render())
+        assert parsed["repro_hits_total"]["type"] == "counter"
+        assert parsed["repro_depth"]["type"] == "gauge"
+        assert parsed["repro_wait_seconds"]["type"] == "histogram"
+        samples = parsed["repro_wait_seconds"]["samples"]
+        # Cumulative buckets: 1 at 0.1, 2 at 1.0, 3 at +Inf; count = 3.
+        assert samples['repro_wait_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_wait_seconds_bucket{le="1"}'] == 2
+        assert samples['repro_wait_seconds_bucket{le="+Inf"}'] == 3
+        assert samples['repro_wait_seconds_count'] == 3
+        assert samples['repro_wait_seconds_sum'] == pytest.approx(9.55)
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total").inc(app='we"ird\\app')
+        parse_exposition(reg.render())      # must not produce garbage
+
+    def test_zero_sample_counter_still_renders(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_idle_total", "never incremented")
+        parsed = parse_exposition(reg.render())
+        assert parsed["repro_idle_total"]["samples"]["repro_idle_total"] == 0
+
+    def test_render_is_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc(z="1")
+        reg.counter("a_total").inc(a="1")
+        assert reg.render() == reg.render()
+
+
+class TestEnableDisable:
+    @pytest.fixture(autouse=True)
+    def _restore_global(self):
+        held = metrics.METRICS
+        yield
+        metrics.METRICS = held
+
+    def test_enable_swaps_in_live_registry(self):
+        metrics.disable()
+        assert metrics.METRICS.enabled is False
+        reg = metrics.enable()
+        assert metrics.METRICS is reg
+        assert reg.enabled is True
+
+    def test_enable_is_idempotent(self):
+        metrics.disable()
+        first = metrics.enable()
+        first.counter("repro_kept_total").inc()
+        second = metrics.enable()
+        assert second is first
+        assert second.counter_total("repro_kept_total") == 1
+
+    def test_disable_restores_null(self):
+        metrics.enable()
+        metrics.disable()
+        assert metrics.METRICS.enabled is False
+
+    def test_call_sites_see_swap_through_module_attribute(self):
+        metrics.disable()
+        metrics.METRICS.counter("repro_lost_total").inc()    # no-op
+        reg = metrics.enable()
+        metrics.METRICS.counter("repro_seen_total").inc()
+        assert reg.counter_total("repro_lost_total") == 0
+        assert reg.counter_total("repro_seen_total") == 1

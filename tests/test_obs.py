@@ -1,0 +1,276 @@
+"""Tests for the observability layer: catalog, reports, event log, CLI.
+
+The catalog/report tests warm a private result cache with real (tiny)
+simulation points, then assert everything downstream — decoding,
+comparison tables, HTML rendering, the ``repro explore`` command —
+works from cached payloads alone.  The explorer's zero-simulation
+contract is asserted the same way the CLI asserts it: through the
+metrics registry's ``repro_simulations_total`` counter.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.common import metrics
+from repro.common.trace import Span, read_spans_jsonl, write_spans_jsonl
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import run_point
+from repro.experiments.sweep import SweepPoint, sweep
+from repro.obs import catalog, eventlog, reports
+from repro.obs.eventlog import RunEventLog, event_log_path, read_events
+
+SCALE = 0.05
+APP = "gemv"
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    return tmp_path
+
+
+@pytest.fixture(autouse=True)
+def _restore_metrics():
+    held = metrics.METRICS
+    yield
+    metrics.METRICS = held
+
+
+def warm(schemes=("baseline", "fbarre")):
+    for scheme in schemes:
+        run_point(cli.SCHEMES[scheme](), APP, scale=SCALE)
+
+
+class TestKeyManifest:
+    def test_fill_writes_manifest_with_key_components(self, cache):
+        warm(("baseline",))
+        manifests = list((cache / "meta" / "keys").glob("*.json"))
+        assert len(manifests) == 1
+        recorded = json.loads(manifests[0].read_text())
+        assert recorded["sim_version"] == runner_mod.SIM_VERSION
+        assert recorded["app"] == APP
+        assert recorded["scale"] == SCALE
+        assert recorded["tag"] == ""
+        assert recorded["file"].startswith(f"{APP}-")
+        assert json.loads(recorded["config"])  # canonical config JSON
+
+    def test_cache_hit_does_not_rewrite_manifest(self, cache):
+        warm(("baseline",))
+        manifest = next((cache / "meta" / "keys").glob("*.json"))
+        before = manifest.stat().st_mtime_ns
+        warm(("baseline",))      # pure hit
+        assert manifest.stat().st_mtime_ns == before
+
+    def test_load_key_manifest_missing_is_none(self, cache):
+        assert runner_mod.load_key_manifest("0" * 24) is None
+
+
+class TestCatalog:
+    def test_scan_decodes_scheme_scale_and_version(self, cache):
+        warm()
+        entries = catalog.scan()
+        assert {e.scheme for e in entries} == {"baseline", "fbarre"}
+        assert all(e.app == APP for e in entries)
+        assert all(e.scale == SCALE for e in entries)
+        assert all(e.sim_version == runner_mod.SIM_VERSION for e in entries)
+        assert all(e.cycles > 0 for e in entries)
+
+    def test_scan_without_manifest_falls_back_to_payload(self, cache):
+        warm(("fbarre",))
+        for manifest in (cache / "meta" / "keys").glob("*.json"):
+            manifest.unlink()
+        (entry,) = catalog.scan()
+        assert entry.app == APP
+        assert entry.scheme == entry.backend    # best-effort decode
+        assert entry.sim_version is None
+        assert entry.scale is None
+
+    def test_scan_empty_or_disabled_cache(self, cache, monkeypatch):
+        assert catalog.scan() == []
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert catalog.scan() == []
+
+    def test_entry_by_digest_and_catalog_index(self, cache):
+        warm(("baseline",))
+        index = catalog.catalog_index()
+        assert index["count"] == 1
+        assert index["apps"] == [APP]
+        assert index["schemes"] == ["baseline"]
+        assert index["sim_versions"] == [runner_mod.SIM_VERSION]
+        digest = index["points"][0]["digest"]
+        entry = catalog.entry_by_digest(digest)
+        assert entry is not None
+        detail = entry.to_dict(verbose=True)
+        assert detail["payload"]["cycles"] == entry.cycles
+        assert detail["latency"]["samples"] == entry.latency.total()
+        assert catalog.entry_by_digest("f" * 24) is None
+
+    def test_scan_ignores_torn_or_foreign_json(self, cache):
+        warm(("baseline",))
+        (cache / "zz-notapoint.json").write_text("{not json")
+        (cache / "meta").mkdir(exist_ok=True)
+        assert len(catalog.scan()) == 1
+
+
+class TestReports:
+    def test_figure_comparison_normalizes_to_baseline(self, cache):
+        warm()
+        entries = catalog.scan()
+        apps, series = reports.speedup_series(entries)
+        assert apps == [APP]
+        assert series["baseline"][APP] == pytest.approx(1.0)
+        assert series["fbarre"][APP] > 0
+        text = reports.figure_comparison(entries)
+        assert "fbarre" in text and APP in text
+
+    def test_figure_comparison_without_baseline(self, cache):
+        warm(("fbarre",))
+        text = reports.figure_comparison(catalog.scan())
+        assert "no cached baseline" in text
+
+    def test_latency_table_has_percentiles(self, cache):
+        warm(("baseline",))
+        entries = catalog.scan()
+        rows = reports.latency_rows(entries)
+        assert rows and rows[0]["p50"] <= rows[0]["p99"] <= rows[0]["max"]
+        table = reports.latency_table(entries)
+        assert "p99" in table and APP in table
+
+    def test_version_diff_pairs_shared_points(self, cache, monkeypatch):
+        v0 = runner_mod.SIM_VERSION
+        warm(("baseline",))
+        monkeypatch.setattr(runner_mod, "SIM_VERSION", "bc-test")
+        warm(("baseline",))
+        entries = catalog.scan()
+        diff = reports.version_diff(entries, v0, "bc-test")
+        # Same simulator, different version stamp: identical cycles.
+        assert "baseline" in diff and "+0.00%" in diff
+        assert "no points cached under both" in reports.version_diff(
+            entries, v0, "bc-nonexistent")
+
+    def test_overview_counts(self, cache):
+        warm()
+        text = reports.overview(catalog.scan())
+        assert "2 points" in text and APP in text
+        assert reports.overview([]).startswith("result cache: empty")
+
+    def test_render_html_is_self_contained(self, cache):
+        warm()
+        html_text = reports.render_html(catalog.scan())
+        assert html_text.startswith("<!doctype html>")
+        assert APP in html_text and "fbarre" in html_text
+        for forbidden in ("<script", "http://", "https://"):
+            assert forbidden not in html_text
+
+
+class TestSpanRoundTrip:
+    def test_jsonl_export_round_trips(self, tmp_path):
+        span = Span(0, chiplet=1, stream=2, pasid=0, vpn=42, start=10)
+        span.events.append((15, "l1_miss"))
+        span.end = 30
+        open_span = Span(1, 0, 0, 0, 7, start=20)
+        path = write_spans_jsonl([span, open_span], tmp_path / "s.jsonl")
+        back = read_spans_jsonl(path)
+        assert [s.to_dict() for s in back] == [span.to_dict(),
+                                               open_span.to_dict()]
+
+    def test_phase_breakdown_from_banked_trace(self, tmp_path):
+        span = Span(0, 0, 0, 0, 1, start=0)
+        span.events.append((60, "walk"))
+        span.end = 100
+        path = write_spans_jsonl([span], tmp_path / "t.jsonl")
+        text = reports.phase_breakdown(path)
+        assert "walk" in text and "issue" in text
+
+
+class TestEventLog:
+    def test_sink_stamps_seq_and_ts_and_persists_jsonl(self, tmp_path):
+        clock = iter([100.0, 101.5]).__next__
+        path = tmp_path / "run.jsonl"
+        with RunEventLog(path, clock=clock) as log:
+            log({"event": "sweep_start", "total": 3})
+            log({"event": "sweep_finish"})
+        records = read_events(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert records[0]["ts"] == 100.0
+        assert records[0]["event"] == "sweep_start"
+        assert records[0]["total"] == 3
+
+    def test_pathless_sink_records_in_memory(self):
+        log = RunEventLog(None)
+        log({"event": "point_finish"})
+        assert log.events[0]["event"] == "point_finish"
+
+    def test_read_events_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"event": "a", "seq": 0, "ts": 1}\n{"event": "b"')
+        assert [r["event"] for r in read_events(path)] == ["a"]
+        assert read_events(tmp_path / "missing.jsonl") == []
+
+    def test_event_log_path_rejects_unsafe_ids(self, cache):
+        assert event_log_path("j000001") == \
+            cache / "meta" / "events" / "j000001.jsonl"
+        for bad in ("../escape", "a/b", ""):
+            with pytest.raises(ValueError):
+                event_log_path(bad)
+
+    def test_events_dir_none_when_cache_off(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert eventlog.events_dir() is None
+        assert event_log_path("j1") is None
+
+    def test_sweep_emits_lifecycle_events(self, cache):
+        log = RunEventLog(None)
+        point = SweepPoint(cli.SCHEMES["baseline"](), APP, SCALE)
+        sweep([point], jobs=1, progress=False, events=log)
+        kinds = [e["event"] for e in log.events]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_finish"
+        assert "point_start" in kinds and "point_finish" in kinds
+        finish = next(e for e in log.events if e["event"] == "point_finish")
+        assert finish["app"] == APP and finish["stolen"] is False
+        assert runner_mod.DIGEST_RE.match(finish["digest"])
+        # Second run: everything cached, so the timeline says so.
+        rerun = RunEventLog(None)
+        sweep([point], jobs=1, progress=False, events=rerun)
+        rerun_kinds = [e["event"] for e in rerun.events]
+        assert "point_cache_hit" in rerun_kinds
+        assert "point_start" not in rerun_kinds
+
+
+class TestExploreCli:
+    def test_explore_renders_with_zero_simulations(self, cache, capsys):
+        warm()
+        assert cli.main(["explore"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over baseline" in out
+        assert "translation latency percentiles" in out
+        assert "0 simulations" in out
+
+    def test_explore_writes_html_report(self, cache, tmp_path, capsys):
+        warm(("baseline",))
+        out_path = tmp_path / "report" / "index.html"
+        assert cli.main(["explore", "--html", str(out_path)]) == 0
+        assert out_path.read_text().startswith("<!doctype html>")
+
+    def test_explore_diff_and_trace_sections(self, cache, tmp_path,
+                                             capsys, monkeypatch):
+        warm(("baseline",))
+        span = Span(0, 0, 0, 0, 1, start=0)
+        span.end = 50
+        trace_path = write_spans_jsonl([span], tmp_path / "trace.jsonl")
+        assert cli.main(["explore", "--trace", str(trace_path),
+                         "--diff", "bc-2", "bc-3"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "bc-2 vs bc-3" in out
+
+    def test_explore_empty_cache_is_fine(self, cache, capsys):
+        assert cli.main(["explore"]) == 0
+        assert "empty" in capsys.readouterr().out

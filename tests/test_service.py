@@ -457,3 +457,111 @@ class TestSweepJobHandle:
             job.run()
         job.join(timeout=60)
         assert job.state == "completed"
+
+
+class TestObservabilityRoutes:
+    """The PR-7 routes: /metrics, /sweeps, job filtering, failure detail."""
+
+    def test_metrics_route_is_valid_prometheus_text(self, make_service):
+        from tests.test_metrics import parse_exposition
+        server, _ = make_service()
+        request(server.base_url, "GET", "/healthz")
+        status, headers, body = request(server.base_url, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_exposition(body.decode())
+        samples = parsed["repro_http_requests_total"]["samples"]
+        assert any('route="/healthz"' in line for line in samples)
+
+    def test_jobs_listing_filters_and_limits_newest_first(self, cache,
+                                                          make_service):
+        server, _ = make_service()
+        ids = []
+        for scheme in ("baseline", "fbarre"):
+            _, _, body = request(server.base_url, "POST", "/jobs",
+                                 {"points": [gemv_point(scheme)]})
+            ids.append(json.loads(body)["id"])
+            poll_job(server.base_url, ids[-1])
+
+        _, _, body = request(server.base_url, "GET", "/jobs")
+        listing = json.loads(body)
+        assert [j["id"] for j in listing["jobs"]] == list(reversed(ids))
+        assert listing["total"] == 2
+
+        _, _, body = request(server.base_url, "GET", "/jobs?limit=1")
+        limited = json.loads(body)
+        assert [j["id"] for j in limited["jobs"]] == [ids[-1]]
+        assert limited["total"] == 2    # total counts matches, not the page
+
+        _, _, body = request(server.base_url, "GET",
+                             "/jobs?state=completed&limit=10")
+        assert len(json.loads(body)["jobs"]) == 2
+        _, _, body = request(server.base_url, "GET", "/jobs?state=failed")
+        assert json.loads(body)["jobs"] == []
+
+        status, _, _ = request(server.base_url, "GET", "/jobs?state=bogus")
+        assert status == 400
+        status, _, _ = request(server.base_url, "GET", "/jobs?limit=x")
+        assert status == 400
+
+    def test_failed_job_reports_type_and_traceback(self, cache,
+                                                   make_service,
+                                                   monkeypatch):
+        def boom(self):
+            raise RuntimeError("injected simulator failure")
+        monkeypatch.setattr(McmGpuSimulator, "run", boom)
+        server, _ = make_service()
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]})
+        job = poll_job(server.base_url, json.loads(body)["id"])
+        assert job["state"] == "failed"
+        assert job["error_type"] == "RuntimeError"
+        assert "injected simulator failure" in job["error"]
+        assert "RuntimeError" in job["traceback"]
+        assert len(job["traceback"]) <= 2100
+        # The summary listing carries the type but not the traceback.
+        _, _, body = request(server.base_url, "GET", "/jobs")
+        summary = json.loads(body)["jobs"][0]
+        assert summary["error_type"] == "RuntimeError"
+        assert "traceback" not in summary
+
+    def test_sweeps_catalog_routes(self, cache, make_service):
+        server, _ = make_service()
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]})
+        job = poll_job(server.base_url, json.loads(body)["id"])
+        digest = job["result"]["points"][0]["digest"]
+
+        status, _, body = request(server.base_url, "GET", "/sweeps")
+        assert status == 200
+        index = json.loads(body)
+        assert index["count"] == 1
+        assert index["points"][0]["digest"] == digest
+        assert index["points"][0]["scheme"] == "baseline"
+        assert index["points"][0]["app"] == "gemv"
+        assert index["sim_versions"] == [runner_mod.SIM_VERSION]
+
+        status, _, body = request(server.base_url, "GET",
+                                  f"/sweeps/{digest}")
+        assert status == 200
+        detail = json.loads(body)
+        assert detail["payload"]["app"] == "gemv"
+        assert detail["latency"]["p50"] <= detail["latency"]["p99"]
+
+        status, _, _ = request(server.base_url, "GET", f"/sweeps/{'0' * 24}")
+        assert status == 404
+
+    def test_job_event_log_is_persisted_jsonl(self, cache, make_service):
+        from repro.obs.eventlog import read_events
+        server, _ = make_service()
+        _, _, body = request(server.base_url, "POST", "/jobs",
+                             {"points": [gemv_point()]})
+        job = poll_job(server.base_url, json.loads(body)["id"])
+        assert job["state"] == "completed"
+        log_path = cache / "meta" / "events" / f"{job['id']}.jsonl"
+        assert job["event_log"] == str(log_path)
+        events = read_events(log_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_start"
+        assert "point_finish" in kinds and "sweep_finish" in kinds
+        assert all(e["seq"] == i for i, e in enumerate(events))

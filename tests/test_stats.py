@@ -144,6 +144,50 @@ class TestLatencyHistogram:
             h.add(v)
         assert 0 <= h.p50 <= h.p90 <= h.p99 <= (h.max if values else 0)
 
+    def test_empty_percentile_any_quantile_is_zero(self):
+        h = LatencyHistogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0
+
+    def test_single_bucket_percentiles_clamp_to_observed_max(self):
+        # All samples in one bucket ([32, 63]): every percentile is the
+        # bucket bound clamped to the true max, and the mean is exact.
+        h = LatencyHistogram()
+        for v in (33, 40, 45):
+            h.add(v)
+        assert h.buckets == {6: 3}
+        assert h.p50 == h.p90 == h.p99 == 45
+        assert h.mean() == pytest.approx((33 + 40 + 45) / 3)
+
+    def test_overflow_bucket_huge_values(self):
+        # Values far past any latency the simulator produces still land
+        # in a well-defined log2 bucket, and the sum/max stay exact.
+        h = LatencyHistogram()
+        big = 10**12
+        h.add(0)
+        h.add(big)
+        assert h.buckets == {0: 1, big.bit_length(): 1}
+        assert h.max == big and h.sum == big
+        assert h.p99 == big     # bound (2**40 - 1) clamped to the max
+
+    def test_merge_differently_shaped_histograms(self):
+        # Disjoint bucket sets: merge must union them, not align them.
+        low, high = LatencyHistogram(), LatencyHistogram()
+        for v in (0, 1, 2, 3):
+            low.add(v)
+        for v in (10_000, 20_000):
+            high.add(v)
+        low.merge(high)
+        assert low.total() == 6
+        assert low.sum == 0 + 1 + 2 + 3 + 10_000 + 20_000
+        assert low.max == 20_000
+        assert low.p50 == 3          # still dominated by the low samples
+        assert low.p99 == 20_000
+        # Merging an empty histogram is the identity.
+        before = low.as_dict()
+        low.merge(LatencyHistogram())
+        assert low.as_dict() == before
+
 
 class TestGeomean:
     def test_basic(self):
