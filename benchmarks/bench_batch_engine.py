@@ -1,0 +1,188 @@
+"""Paired A/B benchmark + perf gate for the vectorized batch engine.
+
+Each point runs the **same config and workload** through both engines in
+the same process — the event-queue simulator first, then
+:class:`repro.batch.BatchSimulator` — and reports the per-point speedup
+(event median / batch median over ``ROUNDS`` rounds).  Because both
+sides of the ratio run on the same interpreter and machine, speedups
+transfer across CI runner generations without the calibration-loop
+normalization the hot-path suite needs.
+
+Before any timing, every point is run once with
+``verify_translations=True``: the batch engine checks each delivered
+PFN against the page table, so a wrong-but-fast engine can never pass
+the gate.
+
+The gate has three prongs (see docs/performance.md, "Batch engine"):
+
+* **speedup floor** — the geometric mean across all points must stay at
+  or above ``SPEEDUP_FLOOR`` (2x).  Individual points legitimately vary:
+  F-Barre points with heavy remote-filter traffic spend much of their
+  time replaying scalar cuckoo displacement chains (exactness requires
+  it), which Amdahl-caps their speedup well below the mean.
+* **per-point regression** — each point's speedup must not drop more
+  than ``--tolerance`` (default 30%) below the committed baseline.
+* **cycle-ratio drift** — the engines' reported ``cycles`` differ by
+  design (stage-synchronous vs event timing); the *ratio* per point is
+  deterministic and must stay within ``CYCLE_RATIO_DRIFT`` of the
+  baseline, so timing-model drift cannot hide behind the tolerance.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py              # table
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py \
+        --check benchmarks/baseline_batch.json                          # CI gate
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py \
+        --update benchmarks/baseline_batch.json                        # refresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROUNDS = 3
+DEFAULT_TOLERANCE = 0.30
+SPEEDUP_FLOOR = 2.0
+CYCLE_RATIO_DRIFT = 0.10
+
+#: (name, scheme, app, trace_scale) — path-diverse: the plain baseline,
+#: Barre's PEC coalescing, F-Barre's filter fabric, and one point (fft)
+#: chosen *because* it is filter-update-bound, the engine's worst case.
+POINTS: tuple[tuple[str, str, str, float], ...] = (
+    ("baseline-gemv", "baseline", "gemv", 1.0),
+    ("barre-gemv", "barre", "gemv", 1.0),
+    ("fbarre-gemv", "fbarre", "gemv", 0.5),
+    ("fbarre-fft", "fbarre", "fft", 0.5),
+)
+
+
+def _median_run(make_sim) -> tuple[float, object]:
+    times, result = [], None
+    for _ in range(ROUNDS):
+        sim = make_sim()
+        t0 = time.perf_counter()
+        result = sim.run()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), result
+
+
+def run_benches() -> dict:
+    from repro.batch import BatchSimulator
+    from repro.experiments import configs
+    from repro.gpu.mcm import McmGpuSimulator
+    from repro.workloads.suite import get_workload
+
+    results: dict[str, dict] = {}
+    for name, scheme, app, scale in POINTS:
+        config = getattr(configs, scheme)()
+        workloads = [get_workload(app)]
+        # Correctness first: a wrong engine must not reach the stopwatch.
+        BatchSimulator(config.replace(engine="batch"), workloads,
+                       trace_scale=scale, verify_translations=True).run()
+        event_s, event_result = _median_run(
+            lambda: McmGpuSimulator(config, workloads, trace_scale=scale))
+        batch_s, batch_result = _median_run(
+            lambda: BatchSimulator(config.replace(engine="batch"),
+                                   workloads, trace_scale=scale))
+        results[name] = {
+            "event_seconds": round(event_s, 6),
+            "batch_seconds": round(batch_s, 6),
+            "speedup": round(event_s / batch_s, 4),
+            "cycle_ratio": round(batch_result.cycles / event_result.cycles,
+                                 6),
+            "walks_event": event_result.walks,
+            "walks_batch": batch_result.walks,
+        }
+    speedups = [r["speedup"] for r in results.values()]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {"rounds": ROUNDS, "geomean_speedup": round(geomean, 4),
+            "benches": results}
+
+
+def format_table(payload: dict) -> str:
+    lines = [f"paired A/B, median of {payload['rounds']} rounds per engine",
+             f"{'point':<16} {'event':>9} {'batch':>9} {'speedup':>8} "
+             f"{'cyc ratio':>10}"]
+    for name, r in payload["benches"].items():
+        lines.append(
+            f"{name:<16} {r['event_seconds'] * 1e3:>7.1f}ms "
+            f"{r['batch_seconds'] * 1e3:>7.1f}ms {r['speedup']:>7.2f}x "
+            f"{r['cycle_ratio']:>10.4f}")
+    lines.append(f"geomean speedup: {payload['geomean_speedup']:.2f}x "
+                 f"(floor {SPEEDUP_FLOOR:.1f}x)")
+    return "\n".join(lines)
+
+
+def check_against(payload: dict, baseline: dict,
+                  tolerance: float) -> list[str]:
+    failures = []
+    if payload["geomean_speedup"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"geomean speedup {payload['geomean_speedup']:.2f}x fell below "
+            f"the {SPEEDUP_FLOOR:.1f}x floor")
+    for name, base in baseline["benches"].items():
+        current = payload["benches"].get(name)
+        if current is None:
+            failures.append(f"{name}: present in baseline but not run")
+            continue
+        limit = base["speedup"] * (1.0 - tolerance)
+        if current["speedup"] < limit:
+            failures.append(
+                f"{name}: speedup {current['speedup']:.2f}x below baseline "
+                f"{base['speedup']:.2f}x (-"
+                f"{1 - current['speedup'] / base['speedup']:.0%}, gate at "
+                f"-{tolerance:.0%})")
+        drift = abs(current["cycle_ratio"] - base["cycle_ratio"])
+        if drift > CYCLE_RATIO_DRIFT * base["cycle_ratio"]:
+            failures.append(
+                f"{name}: cycle ratio drifted {base['cycle_ratio']:.4f} -> "
+                f"{current['cycle_ratio']:.4f} (tolerance "
+                f"{CYCLE_RATIO_DRIFT:.0%}) — the engines' timing models "
+                f"diverged; see the tolerance contract in "
+                f"docs/performance.md")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write results as JSON")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="fail (exit 1) on regression vs a baseline file")
+    parser.add_argument("--update", metavar="BASELINE",
+                        help="write this run as the new baseline")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed per-point speedup drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    payload = run_benches()
+    print(format_table(payload))
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.update:
+        Path(args.update).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline updated -> {args.update}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_against(payload, baseline, args.tolerance)
+        if failures:
+            print("\nPERF GATE FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            print("(see docs/performance.md for the baseline refresh "
+                  "procedure if this change is intentional)")
+            return 1
+        print(f"\nperf gate OK (tolerance -{args.tolerance:.0%} vs "
+              f"{args.check})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Opt-in vectorized batch-translation engine.
+
+Select it with ``SimConfig(engine="batch")`` or ``REPRO_ENGINE=batch``;
+:func:`make_simulator` maps the knob to an engine class, and
+:func:`resolve_engine_config` folds the environment override into the
+config so cache keys always record which engine produced a result.
+"""
+
+from repro.batch.engine import (
+    DEFAULT_BATCH_SIZE,
+    ENGINE_ENV_VAR,
+    ENGINES,
+    BatchSimulator,
+    DescriptorIndex,
+    make_simulator,
+    resolve_engine_config,
+)
+from repro.batch.vectlb import BulkCuckooView, VectorTlb
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ENGINE_ENV_VAR",
+    "ENGINES",
+    "BatchSimulator",
+    "BulkCuckooView",
+    "DescriptorIndex",
+    "VectorTlb",
+    "make_simulator",
+    "resolve_engine_config",
+]

@@ -136,6 +136,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="test-only: add OFFSET to every "
                                "PEC-calculated PFN and prove the harness "
                                "catches it (expect failures)")
+    validate.add_argument("--engine", default="event",
+                          choices=("event", "batch"),
+                          help="execution engine under test (default "
+                               "event; batch = vectorized engine, "
+                               "ats/barre/fbarre schemes only)")
 
     serve = sub.add_parser(
         "serve", help="serve the simulation job API over HTTP")
@@ -342,7 +347,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     seeds = list(range(args.seed_start, args.seed_start + args.seeds))
     report = run_validation(schemes, seeds, trace_scale=args.scale,
                             check_invariants=not args.no_invariants,
-                            inject_pec_offset=args.inject_pec_bug)
+                            inject_pec_offset=args.inject_pec_bug,
+                            engine=args.engine)
     print(report.describe())
     return 0 if report.ok else 1
 

@@ -129,13 +129,18 @@ class ValidationReport:
         return "\n".join(lines)
 
 
-def _inject_pec_offset(sim: McmGpuSimulator, offset: int) -> None:
+def _inject_pec_offset(sim, offset: int) -> None:
     """Arm the test-only PEC fault on every PEC datapath in ``sim``."""
     pecs = []
-    if sim.iommu is not None:
-        pecs.append(sim.iommu.pec)
-    pecs.extend(gmmu.pec for gmmu in sim.gmmus)
-    pecs.extend(agent.pec for agent in sim.agents.values())
+    if isinstance(sim, McmGpuSimulator):
+        if sim.iommu is not None:
+            pecs.append(sim.iommu.pec)
+        pecs.extend(gmmu.pec for gmmu in sim.gmmus)
+        pecs.extend(agent.pec for agent in sim.agents.values())
+    else:  # BatchSimulator: IOMMU-side PEC + per-chiplet agent PECs
+        pecs.append(sim.pec)
+        pecs.extend(state.agent.pec for state in sim.chiplets
+                    if state.agent is not None)
     for pec in pecs:
         pec.inject_pfn_offset = offset
 
@@ -169,12 +174,26 @@ def validate_point(scheme: str, config: SimConfig,
                    check_invariants: bool = True,
                    inject_pec_offset: int = 0,
                    attach_spans: bool = True,
+                   engine: str = "event",
                    ) -> tuple[SchemeRun, list[Divergence]]:
-    """Run one scheme on one point and compare every PFN to the oracle."""
+    """Run one scheme on one point and compare every PFN to the oracle.
+
+    ``engine="batch"`` runs the vectorized batch engine instead of the
+    event engine against the very same oracle.  The batch engine has no
+    tracer or runtime invariant checker, so divergence reports carry no
+    span and ``check_invariants`` is ignored; the oracle comparison — the
+    exactness contract both engines share — is identical.
+    """
     ref = reference_translation(config, workloads, trace_scale)
     run = SchemeRun(scheme=scheme, seed=seed)
-    sim = McmGpuSimulator(config, workloads, trace_scale=trace_scale,
-                          check_invariants=check_invariants)
+    if engine == "batch":
+        from repro.batch import BatchSimulator
+        sim = BatchSimulator(config.replace(engine="batch"), workloads,
+                             trace_scale=trace_scale)
+        attach_spans = False
+    else:
+        sim = McmGpuSimulator(config, workloads, trace_scale=trace_scale,
+                              check_invariants=check_invariants)
     if inject_pec_offset:
         _inject_pec_offset(sim, inject_pec_offset)
     mismatches: dict[tuple[int, int], int] = {}
@@ -250,12 +269,28 @@ def _cross_check(seed: int, ref_runs: list[SchemeRun],
 def run_validation(schemes: Sequence[str], seeds: Sequence[int],
                    trace_scale: float = 1.0,
                    check_invariants: bool = True,
-                   inject_pec_offset: int = 0) -> ValidationReport:
-    """The full differential sweep behind ``python -m repro validate``."""
+                   inject_pec_offset: int = 0,
+                   engine: str = "event") -> ValidationReport:
+    """The full differential sweep behind ``python -m repro validate``.
+
+    ``engine`` selects the execution engine under test (``"event"`` or
+    ``"batch"``); the oracle side never changes.  The batch engine only
+    supports the ats/baseline, barre, and fbarre schemes — others raise
+    :class:`ConfigError` up front.
+    """
     unknown = [s for s in schemes if s not in SCHEME_FACTORIES]
     if unknown:
         raise ConfigError(f"unknown validation schemes: {', '.join(unknown)} "
                           f"(choose from {', '.join(sorted(SCHEME_FACTORIES))})")
+    if engine not in ("event", "batch"):
+        raise ConfigError(f"unknown engine {engine!r}")
+    if engine == "batch":
+        supported = {"ats", "baseline", "barre", "fbarre"}
+        bad = [s for s in schemes if s not in supported]
+        if bad:
+            raise ConfigError(
+                f"schemes {', '.join(bad)} drain to the event engine; "
+                f"--engine batch supports {', '.join(sorted(supported))}")
     report = ValidationReport(schemes=list(schemes), seeds=list(seeds))
     for seed in seeds:
         workload = fuzz_workload(seed)
@@ -268,7 +303,8 @@ def run_validation(schemes: Sequence[str], seeds: Sequence[int],
                 scheme, config, [workload], seed,
                 trace_scale=trace_scale,
                 check_invariants=check_invariants,
-                inject_pec_offset=inject_pec_offset)
+                inject_pec_offset=inject_pec_offset,
+                engine=engine)
             report.runs.append(run)
             seed_runs.append(run)
             report.divergences.extend(divergences)

@@ -1,0 +1,458 @@
+"""Cross-engine differential suite: the batch engine vs the event engine.
+
+Three rings of evidence, inside out:
+
+* **component equality** — the vectorized TLB and the bulk cuckoo view
+  replay their scalar counterparts operation for operation (same hits,
+  same LRU victims, same false positives);
+* **sequential degeneration** — with ``batch_size=1`` and one chiplet /
+  one stream / window 1, the stage pipeline degenerates to the event
+  engine's sequential protocol, and walk counts, L2 stats, ATS requests,
+  and PEC coalescing must match *exactly*;
+* **oracle exactness everywhere** — on arbitrary configurations the
+  engines legitimately differ in timing-attributed counters, but every
+  delivered ``(pasid, vpn) -> pfn`` mapping must equal the reference
+  translator's, the translated key sets must agree across engines, and
+  each page's owner chiplet must be identical.
+
+Shrunk hypothesis failures found while building the engine are pinned as
+``@example`` cases so they rerun forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.batch import BatchSimulator, make_simulator
+from repro.batch.vectlb import BulkCuckooView, VectorTlb
+from repro.common.config import CuckooConfig, SimConfig, TlbConfig
+from repro.common.errors import ConfigError, TranslationError
+from repro.experiments import configs
+from repro.filters.cuckoo import CuckooFilter
+from repro.gpu import McmGpuSimulator
+from repro.memsim.tlb import Tlb, TlbEntry
+from repro.validation import reference_translation
+from repro.validation.fuzz import fuzz_workload
+from repro.workloads import DataSpec, Workload
+
+#: The restriction under which the batch engine is provably sequential:
+#: one access in flight at a time, one translation pipeline.
+SEQUENTIAL = dict(num_chiplets=1, streams_per_chiplet=1, stream_window=1)
+
+SCHEMES = ("baseline", "barre", "fbarre")
+
+
+def _run_with_mappings(sim):
+    """Run a simulator, returning (SimResult, {(pasid, vpn): pfn})."""
+    seen: dict[tuple[int, int], int] = {}
+    sim.pfn_observer = (lambda cid, sid, pasid, vpn, pfn:
+                        seen.setdefault((pasid, vpn), pfn))
+    return sim.run(), seen
+
+
+def _batch(cfg: SimConfig, workload, **kwargs) -> BatchSimulator:
+    return BatchSimulator(cfg.replace(engine="batch"), [workload],
+                          trace_scale=1.0, **kwargs)
+
+
+@st.composite
+def small_workloads(draw) -> Workload:
+    pattern = draw(st.sampled_from(
+        ["stream", "blocked", "stencil", "stride", "random", "gather"]))
+    pages = draw(st.integers(min_value=16, max_value=300))
+    data = [DataSpec("main", pages=pages, row_pages=draw(
+        st.sampled_from([0, 8])))]
+    if pattern == "gather":
+        data.append(DataSpec("vec", pages=draw(
+            st.integers(min_value=8, max_value=100)), shared=True,
+            irregular=True))
+    return Workload(
+        abbr="xeng", app_name="cross-engine", suite="hypothesis",
+        category="mid", paper_mpki=1.0, data=tuple(data), pattern=pattern,
+        weight=1.0, gap=draw(st.integers(min_value=0, max_value=8)),
+        num_ctas=draw(st.sampled_from([8, 16])),
+        accesses_per_cta=draw(st.integers(min_value=10, max_value=40)),
+        params={"gather_data": 1, "touches_per_page": 2,
+                "stride_pages": draw(st.integers(min_value=1, max_value=8)),
+                "row_width": 4},
+    )
+
+
+def _stride_cex_workload() -> Workload:
+    """The ROADMAP counterexample workload — heaviest PEC traffic known."""
+    return Workload(
+        abbr="xeng", app_name="cross-engine", suite="hypothesis",
+        category="mid", paper_mpki=1.0,
+        data=(DataSpec("main", pages=37, row_pages=0),),
+        pattern="stride", weight=1.0, gap=0, num_ctas=16,
+        accesses_per_cta=10,
+        params={"gather_data": 1, "touches_per_page": 2,
+                "stride_pages": 4, "row_width": 1},
+    )
+
+
+# -- ring 1: component equality ---------------------------------------------
+
+def test_vectortlb_replays_reference_tlb_exactly():
+    """Probe→commit→fill at batch size 1 == the OrderedDict Tlb protocol.
+
+    A randomized access stream with a hot working set drives both TLBs;
+    hit/miss streams, eviction counts, and final resident sets must agree
+    after every operation — this is the foundation the sequential-
+    degeneration equality rests on.
+    """
+    cfg = TlbConfig(entries=16, ways=4, lookup_latency=1, mshrs=4)
+    ref, vec = Tlb(cfg, name="ref"), VectorTlb(cfg, name="vec")
+    rng = np.random.default_rng(42)
+    evictions = 0
+    for step in range(2000):
+        pasid = int(rng.integers(0, 2))
+        vpn = int(rng.integers(0, 40))   # ~2.5x capacity: constant churn
+        expect = ref.lookup(pasid, vpn)
+        pasids = np.array([pasid], dtype=np.int64)
+        vpns = np.array([vpn], dtype=np.int64)
+        hit, way = vec.probe_many(pasids, vpns)
+        vec.commit_hits(pasids, vpns, hit, way)
+        if expect is None:
+            assert not hit[0], f"step {step}: vec hit where ref missed"
+            entry = TlbEntry(pasid=pasid, vpn=vpn, global_pfn=vpn * 7 + pasid)
+            ref_victim = ref.insert(entry)
+            vec_victim = vec.fill(TlbEntry(pasid=pasid, vpn=vpn,
+                                           global_pfn=vpn * 7 + pasid))
+            assert (ref_victim is None) == (vec_victim is None), f"step {step}"
+            if ref_victim is not None:
+                evictions += 1
+                assert ref_victim.key == vec_victim.key, (
+                    f"step {step}: LRU victims diverge "
+                    f"{ref_victim.key} vs {vec_victim.key}")
+        else:
+            assert hit[0], f"step {step}: vec missed where ref hit"
+            assert int(vec.gather_pfns(vpns, way)[0]) == expect.global_pfn
+    assert evictions > 100, "churn too low to prove anything"
+    assert ref.stats.count("hits") == vec.hits
+    assert ref.stats.count("misses") == vec.misses
+    assert {e.key for e in ref.entries()} == {
+        e.key for e in vec._payloads.values()}
+
+
+def test_bulk_cuckoo_view_matches_scalar_filter_bit_for_bit():
+    """contains_many must reproduce scalar contains — including the false
+    positives, which are part of F-Barre's simulated behavior."""
+    cuckoo = CuckooFilter(CuckooConfig(rows=32, ways=2, fingerprint_bits=6))
+    view = BulkCuckooView(cuckoo)
+    rng = np.random.default_rng(7)
+    live: set[int] = set()
+    for _ in range(300):
+        item = int(rng.integers(0, 5000))
+        if item in live and rng.random() < 0.5:
+            cuckoo.delete(item)
+            live.discard(item)
+        elif cuckoo.insert(item):
+            live.add(item)
+        # Both probe paths: large batches densify the buckets, small
+        # candidate screens peek at them directly.
+        for size in (64, 3):
+            probes = rng.integers(0, 5000, size=size).astype(np.int64)
+            bulk = view.contains_many(probes)
+            scalar = np.array([cuckoo.contains(int(p)) for p in probes])
+            assert (bulk == scalar).all(), (
+                f"bulk membership (batch of {size}) diverged from scalar")
+
+
+# -- ring 2: sequential degeneration ----------------------------------------
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("seed", range(5))
+def test_sequential_config_counts_equal_event_engine(scheme, seed):
+    """batch_size=1 + 1 chiplet/stream/window ⇒ exact count equality."""
+    workload = fuzz_workload(seed)
+    cfg = getattr(configs, scheme)(seed=seed, **SEQUENTIAL)
+    ev = McmGpuSimulator(cfg, [workload], trace_scale=1.0).run()
+    br = _batch(cfg, workload, batch_size=1).run()
+    assert br.walks == ev.walks
+    assert br.l2_misses == ev.l2_misses
+    assert br.l2_lookups == ev.l2_lookups
+    assert br.ats_requests == ev.ats_requests
+    assert br.pec_coalesced == ev.pec_coalesced
+
+
+@settings(max_examples=6, deadline=None)
+@given(workload=small_workloads(),
+       scheme=st.sampled_from(SCHEMES),
+       seed=st.integers(min_value=0, max_value=2**16))
+@example(workload=_stride_cex_workload(), scheme="barre", seed=0)
+def test_property_sequential_walks_equal(workload, scheme, seed):
+    """Hypothesis over the sequential restriction: counts always equal.
+
+    The stride counterexample is pinned: its dense duplicate runs and PEC
+    coalescing shook out the carry-propagation bug in the duplicate-
+    collapse stage during development.
+    """
+    cfg = getattr(configs, scheme)(seed=seed, **SEQUENTIAL)
+    ev = McmGpuSimulator(cfg, [workload], trace_scale=1.0).run()
+    br = _batch(cfg, workload, batch_size=1).run()
+    assert (br.walks, br.l2_misses, br.ats_requests, br.pec_coalesced) == \
+        (ev.walks, ev.l2_misses, ev.ats_requests, ev.pec_coalesced)
+
+
+# -- ring 3: oracle exactness on arbitrary configs --------------------------
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("seed", range(3))
+def test_batch_mappings_match_oracle_and_event_engine(scheme, seed):
+    """Full default geometry: every mapping oracle-exact, same key set and
+    owner chiplet as the event engine."""
+    workload = fuzz_workload(seed)
+    cfg = getattr(configs, scheme)(seed=seed)
+    ref = reference_translation(cfg, [workload])
+    _, ev_seen = _run_with_mappings(
+        McmGpuSimulator(cfg, [workload], trace_scale=1.0))
+    br, b_seen = _run_with_mappings(_batch(cfg, workload))
+    assert b_seen, "batch engine delivered no translations"
+    bad = {k: pfn for k, pfn in b_seen.items()
+           if ref.translations.get(k) != pfn}
+    assert not bad, f"batch mappings diverge from oracle: {bad}"
+    assert set(b_seen) == set(ev_seen), "translated key sets differ"
+    fpc = cfg.frames_per_chiplet
+    owners_differ = {k for k in b_seen
+                     if b_seen[k] // fpc != ev_seen[k] // fpc}
+    assert not owners_differ, (
+        f"owner-chiplet decisions differ at {sorted(owners_differ)[:5]}")
+    # Walk-work conservation holds inside the batch engine too.
+    merges = br.extra["walk_merges"]
+    assert br.walks + merges + br.pec_coalesced == br.ats_requests
+
+
+@settings(max_examples=6, deadline=None)
+@given(workload=small_workloads(),
+       scheme=st.sampled_from(SCHEMES),
+       seed=st.integers(min_value=0, max_value=2**16))
+@example(workload=_stride_cex_workload(), scheme="fbarre", seed=0)
+def test_property_batch_mappings_match_oracle(workload, scheme, seed):
+    """Hypothesis over full geometry: oracle exactness is unconditional.
+
+    The pinned example drives F-Barre's LCF/PEC calculation path through
+    the stride counterexample's coalescing-heavy stream — the case that
+    exposed a stale sibling-probe during development (the bulk LCF screen
+    must confirm against batch-start L2 state, not mid-wave fills).
+    """
+    cfg = getattr(configs, scheme)(seed=seed)
+    ref = reference_translation(cfg, [workload])
+    _, seen = _run_with_mappings(_batch(cfg, workload))
+    assert seen
+    assert all(ref.translations.get(k) == pfn for k, pfn in seen.items())
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64, 1024])
+def test_batch_size_never_changes_mappings(batch_size):
+    """Mappings and conservation are batch-size invariant (timing-attributed
+    counters like merges/PEC legitimately shift with the wave width)."""
+    workload = fuzz_workload(3)
+    cfg = configs.fbarre(seed=3)
+    ref = reference_translation(cfg, [workload])
+    br, seen = _run_with_mappings(
+        _batch(cfg, workload, batch_size=batch_size))
+    assert seen
+    assert all(ref.translations.get(k) == pfn for k, pfn in seen.items())
+    assert (br.walks + br.extra["walk_merges"] + br.pec_coalesced
+            == br.ats_requests)
+
+
+# -- scatter/gather boundary edge cases -------------------------------------
+
+def test_empty_batch_wave_is_a_noop():
+    """A wave whose slice is beyond every stream is pure no-op."""
+    sim = _batch(configs.baseline(seed=0), fuzz_workload(0))
+    sim.run()
+    before = (sim.walks, sim.ats_requests, sim.pec_coalesced,
+              sim.local_accesses, sim.remote_accesses,
+              [s.l2.hits + s.l2.misses for s in sim.chiplets])
+    sim._run_wave(10 ** 9, 10 ** 9 + 64)
+    after = (sim.walks, sim.ats_requests, sim.pec_coalesced,
+             sim.local_accesses, sim.remote_accesses,
+             [s.l2.hits + s.l2.misses for s in sim.chiplets])
+    assert before == after
+
+
+def test_single_access_batch():
+    workload = Workload(
+        abbr="one", app_name="single", suite="edge", category="mid",
+        paper_mpki=1.0, data=(DataSpec("main", pages=4, row_pages=0),),
+        pattern="stream", weight=1.0, gap=0, num_ctas=1,
+        accesses_per_cta=1, params={},
+    )
+    cfg = configs.baseline(seed=0, **SEQUENTIAL)
+    ref = reference_translation(cfg, [workload])
+    result, seen = _run_with_mappings(_batch(cfg, workload, batch_size=1))
+    assert len(seen) == 1
+    ((key, pfn),) = seen.items()
+    assert ref.translations[key] == pfn
+    assert result.walks == 1 and result.l2_misses == 1
+    assert result.cycles > 0
+
+
+def test_all_misses_batch_walks_every_distinct_key():
+    """Cold TLBs + one giant wave: every chiplet-unique key walks (or
+    merges/coalesces), nothing hits, and all fills land correctly."""
+    workload = fuzz_workload(1)
+    cfg = configs.baseline(seed=1, num_chiplets=1)
+    ref = reference_translation(cfg, [workload])
+    sim = _batch(cfg, workload, batch_size=1 << 20)   # everything in wave 1
+    result, seen = _run_with_mappings(sim)
+    assert all(ref.translations.get(k) == pfn for k, pfn in seen.items())
+    # One chiplet, one wave: every distinct key is a primary walk or an
+    # in-wave merge; nothing can hit a cold TLB.
+    assert result.walks == len(seen)
+    assert result.walks + result.extra["walk_merges"] == result.ats_requests
+
+
+def test_invalidation_at_the_drain_boundary_forces_a_rewalk():
+    """invalidate() between waves drops L1/L2 state *and* the duplicate-
+    collapse carry, so the next wave re-misses and re-walks — and still
+    delivers oracle-exact PFNs."""
+    workload = _stride_cex_workload()   # gap=0: dup runs cross waves
+    cfg = configs.baseline(seed=0, **SEQUENTIAL)
+    ref = reference_translation(cfg, [workload])
+
+    undisturbed = _batch(cfg, workload, batch_size=32)
+    base_result = undisturbed.run()
+
+    sim = _batch(cfg, workload, batch_size=32)
+    seen: dict[tuple[int, int], int] = {}
+    wrong: list = []
+
+    def observer(_cid, _sid, pasid, vpn, pfn):
+        seen[(pasid, vpn)] = pfn
+        if ref.translations.get((pasid, vpn)) != pfn:
+            wrong.append((pasid, vpn, pfn))
+
+    sim.pfn_observer = observer
+    chunk = sim._chunks[0]
+    total = len(chunk["vpn"])
+    assert total > 64, "workload too small to span multiple waves"
+    sim._run_wave(0, 32)
+    # Invalidate the carry key (the last access of wave 0) plus another
+    # resident key — the carry path is the one a naive flush would miss.
+    carry_key = (int(chunk["pasid"][31]), int(chunk["vpn"][31]))
+    other_key = (int(chunk["pasid"][0]), int(chunk["vpn"][0]))
+    for pasid, vpn in {carry_key, other_key}:
+        sim.invalidate(pasid, vpn)
+    assert sim.chiplets[0].carry[0] is None, "carry survived invalidation"
+    for lo in range(32, total, 32):
+        sim._run_wave(lo, lo + 32)
+    assert not wrong, f"post-invalidation PFNs diverged: {wrong[:5]}"
+    assert set(seen) == set(ref.translations)
+    assert sim.walks > base_result.walks, (
+        "invalidation did not force a re-walk")
+
+
+def test_regression_wave_local_gather_survives_l2_churn():
+    """gups (random access, huge footprint) at full geometry: a wave's own
+    residue fills can evict an earlier L2 hit *within the same wave*; the
+    merge-gather path must read the wave's resolved PFNs, not post-fill
+    TLB state.  This crashed with an AttributeError before the fix."""
+    from repro.workloads.suite import get_workload
+    cfg = configs.baseline()
+    workload = get_workload("gups")
+    ref = reference_translation(cfg, [workload], trace_scale=0.2)
+    sim = BatchSimulator(cfg.replace(engine="batch"), [workload],
+                         trace_scale=0.2)
+    seen: dict[tuple[int, int], int] = {}
+    sim.pfn_observer = (lambda cid, sid, pasid, vpn, pfn:
+                        seen.setdefault((pasid, vpn), pfn))
+    sim.run()
+    assert len(seen) > 1000, "workload footprint too small to churn the L2"
+    assert all(ref.translations.get(k) == pfn for k, pfn in seen.items())
+
+
+def test_unknown_pasid_raises_typed_translation_error():
+    sim = _batch(configs.baseline(seed=0), fuzz_workload(0))
+    with pytest.raises(TranslationError, match="PASID 777"):
+        sim._iommu_stage([(0, 777, 0x123)], {})
+
+
+def test_verify_translations_has_teeth():
+    """verify_translations passes clean and catches an injected PEC bug."""
+    workload = _stride_cex_workload()
+    cfg = configs.barre(seed=0)
+    _batch(cfg, workload, verify_translations=True).run()   # clean
+    sim = _batch(cfg, workload, verify_translations=True)
+    sim.pec.inject_pfn_offset = 7
+    with pytest.raises(TranslationError, match="wrong batch translation"):
+        sim.run()
+
+
+# -- configuration gates -----------------------------------------------------
+
+@pytest.mark.parametrize("cfg_factory", [
+    lambda: configs.with_migration(configs.fbarre()),
+    lambda: configs.baseline(demand_paging=True),
+    lambda: configs.mgvm(),
+    lambda: configs.with_iommu_tlb(configs.baseline()),
+    lambda: configs.fbarre(oracle_sharing=True),
+    lambda: configs.valkyrie(),
+    lambda: configs.least(),
+    lambda: configs.shared_l2(),
+], ids=["migration", "demand-paging", "gmmu", "iommu-tlb",
+        "oracle-sharing", "valkyrie", "least", "shared-l2"])
+def test_unsupported_configs_drain_to_the_event_engine(cfg_factory):
+    cfg = cfg_factory().replace(engine="batch")
+    with pytest.raises(ConfigError, match="event engine"):
+        BatchSimulator(cfg, [fuzz_workload(0)])
+
+
+def test_make_simulator_routes_on_the_engine_knob():
+    wl = fuzz_workload(0)
+    assert isinstance(make_simulator(configs.baseline(), [wl]),
+                      McmGpuSimulator)
+    assert isinstance(
+        make_simulator(configs.baseline().replace(engine="batch"), [wl]),
+        BatchSimulator)
+    with pytest.raises(ConfigError, match="tracer"):
+        make_simulator(configs.baseline().replace(engine="batch"), [wl],
+                       trace=True)
+    with pytest.raises(ConfigError, match="invariant"):
+        make_simulator(configs.baseline().replace(engine="batch"), [wl],
+                       check_invariants=True)
+
+
+def test_unknown_engine_name_is_rejected_at_config_time():
+    with pytest.raises(ConfigError, match="unknown engine"):
+        SimConfig(engine="vector")
+
+
+# -- nightly deep profiles ---------------------------------------------------
+
+@pytest.mark.slow
+@settings(max_examples=100, deadline=None)
+@given(workload=small_workloads(),
+       scheme=st.sampled_from(SCHEMES),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_deep_sequential_counts_equal(workload, scheme, seed):
+    cfg = getattr(configs, scheme)(seed=seed, **SEQUENTIAL)
+    ev = McmGpuSimulator(cfg, [workload], trace_scale=1.0).run()
+    br = _batch(cfg, workload, batch_size=1).run()
+    assert (br.walks, br.l2_misses, br.l2_lookups, br.ats_requests,
+            br.pec_coalesced) == (ev.walks, ev.l2_misses, ev.l2_lookups,
+                                  ev.ats_requests, ev.pec_coalesced)
+
+
+@pytest.mark.slow
+@settings(max_examples=100, deadline=None)
+@given(workload=small_workloads(),
+       scheme=st.sampled_from(SCHEMES),
+       batch_size=st.sampled_from([1, 16, 256, 1024]),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_deep_batch_mappings_match_oracle(workload, scheme, batch_size,
+                                          seed):
+    cfg = getattr(configs, scheme)(seed=seed)
+    ref = reference_translation(cfg, [workload])
+    br, seen = _run_with_mappings(
+        _batch(cfg, workload, batch_size=batch_size))
+    assert seen
+    assert all(ref.translations.get(k) == pfn for k, pfn in seen.items())
+    assert (br.walks + br.extra["walk_merges"] + br.pec_coalesced
+            == br.ats_requests)

@@ -74,16 +74,91 @@ def test_property_translation_schemes_access_identical_data(workload, seed):
     assert len(counts) == 1
 
 
+def _run_with_merges(cfg, workload):
+    """Run one point and return (SimResult, IOMMU walk_merges count)."""
+    sim = McmGpuSimulator(cfg, [workload], trace_scale=1.0)
+    result = sim.run()
+    return result, sim.iommu.stats.count("walk_merges")
+
+
 @settings(max_examples=8, deadline=None)
 @given(workload=small_workloads(), seed=st.integers(min_value=0,
                                                     max_value=2**16))
-def test_property_barre_never_increases_walks(workload, seed):
-    """PEC coalescing can only remove page-table walks, never add them."""
-    base = McmGpuSimulator(configs.baseline(seed=seed), [workload],
-                           trace_scale=1.0).run()
-    barre = McmGpuSimulator(configs.barre(seed=seed), [workload],
-                            trace_scale=1.0).run()
-    assert barre.walks <= base.walks
+def test_property_barre_walk_work_is_conserved_and_bounded(workload, seed):
+    """PEC coalescing never adds walk *work*, though it may add walks.
+
+    The original property asserted ``barre.walks <= base.walks`` and was
+    falsified (see ``test_regression_stride_walk_counterexample``): primary
+    walk counts are timing-dependent.  PEC-coalesced responses complete
+    sooner, which shrinks the window in which a later same-key request can
+    merge with an in-flight walk — so a request that *merged* under
+    baseline may become a fresh *primary* walk under Barre.  That is lost
+    merging, not extra page-table work per request, so the true invariants
+    are:
+
+    * conservation — every ATS request is served exactly once, by a primary
+      walk, an in-flight merge, or a PEC-coalesced calculation; and
+    * the merge-window bound — Barre's primary-walk excess never exceeds
+      the in-flight merges it lost relative to baseline.
+    """
+    base, base_merges = _run_with_merges(configs.baseline(seed=seed),
+                                         workload)
+    barre, barre_merges = _run_with_merges(configs.barre(seed=seed),
+                                           workload)
+    assert base.walks + base_merges == base.ats_requests
+    assert (barre.walks + barre_merges + barre.pec_coalesced
+            == barre.ats_requests)
+    assert barre.walks <= base.walks + max(0, base_merges - barre_merges)
+
+
+def test_regression_stride_walk_counterexample():
+    """Pin the ROADMAP counterexample that falsified the strict property.
+
+    stride pattern, 37 pages, 16 CTAs, 10 accesses/CTA, stride_pages=4,
+    touches_per_page=2, seed=0: baseline takes 50 walks + 89 in-flight
+    merges; Barre coalesces 20 requests in the PEC but its faster
+    completions shrink the merge window to 66, leaving 53 primary walks —
+    three *more* than baseline from the identical 139-request stream.
+    Both schemes stay oracle-exact, so this is a timing effect in walk
+    *accounting attribution*, not a translation bug.  The exact counts are
+    frozen so any future change to merge/coalescing timing shows up here
+    by name.
+    """
+    workload = Workload(
+        abbr="prop", app_name="property", suite="hypothesis",
+        category="mid", paper_mpki=1.0,
+        data=(DataSpec("main", pages=37, row_pages=0),),
+        pattern="stride", weight=1.0, gap=0,
+        num_ctas=16, accesses_per_cta=10,
+        params={"gather_data": 1, "touches_per_page": 2,
+                "stride_pages": 4, "row_width": 1},
+    )
+    base, base_merges = _run_with_merges(configs.baseline(seed=0), workload)
+    barre, barre_merges = _run_with_merges(configs.barre(seed=0), workload)
+
+    assert (base.walks, base_merges, base.ats_requests) == (50, 89, 139)
+    assert (barre.walks, barre_merges, barre.pec_coalesced,
+            barre.ats_requests) == (53, 66, 20, 139)
+    # The strict property is genuinely false here ...
+    assert barre.walks > base.walks
+    # ... while the weakened bound and conservation both hold.
+    assert barre.walks <= base.walks + (base_merges - barre_merges)
+    assert base.walks + base_merges == base.ats_requests
+    assert (barre.walks + barre_merges + barre.pec_coalesced
+            == barre.ats_requests)
+
+    # And every delivered PFN still matches the oracle for both schemes.
+    for scheme in ("baseline", "barre"):
+        cfg = getattr(configs, scheme)(seed=0)
+        ref = reference_translation(cfg, [workload])
+        sim = McmGpuSimulator(cfg, [workload], trace_scale=1.0,
+                              check_invariants=True)
+        seen = []
+        sim.pfn_observer = lambda cid, sid, pasid, vpn, pfn: seen.append(
+            ((pasid, vpn), pfn))
+        sim.run()
+        assert seen
+        assert all(ref.translations[key] == pfn for key, pfn in seen)
 
 
 @settings(max_examples=10, deadline=None)
