@@ -141,6 +141,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="execution engine under test (default "
                                "event; batch = vectorized engine, "
                                "ats/barre/fbarre schemes only)")
+    validate.add_argument("--scenario", default=None, metavar="NAME",
+                          help="validate multi-tenant churn timelines "
+                               "instead of single fuzz apps: 'churn' = "
+                               "fuzzed scenario per seed, or a pinned "
+                               "name (churn-min, churn-small, "
+                               "multi-tenant); event engine only")
+    validate.add_argument("--inject-stale-entry", action="store_true",
+                          help="test-only: resurrect one TLB entry of a "
+                               "departing tenant and prove the teardown "
+                               "sweep catches it (needs --scenario; "
+                               "expect failures)")
 
     serve = sub.add_parser(
         "serve", help="serve the simulation job API over HTTP")
@@ -348,7 +359,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     report = run_validation(schemes, seeds, trace_scale=args.scale,
                             check_invariants=not args.no_invariants,
                             inject_pec_offset=args.inject_pec_bug,
-                            engine=args.engine)
+                            engine=args.engine,
+                            scenario=args.scenario,
+                            inject_stale_entry=args.inject_stale_entry)
     print(report.describe())
     return 0 if report.ok else 1
 

@@ -72,8 +72,19 @@ class AtsHandler(MissHandler):
         self.prefetch_expiry = 10_000
         #: Hook for prefetch fills (wired to the chiplet's L2 insert).
         self.on_prefetch_fill: Callable[[TlbEntry], None] | None = None
+        #: Torn-down address spaces (shared with the simulator in scenario
+        #: runs).  A resolve can arrive *after* teardown purged this
+        #: handler: an F-Barre/Least peer probe in flight over the mesh
+        #: when the PASID died falls back to ATS on return.  The IOMMU
+        #: would flush the request without responding, so enqueueing a
+        #: waiter here would leak it forever — drop the resolve instead
+        #: (its stream is already cancelled; nobody consumes the reply).
+        self.dead_pasids: set[int] = set()
 
     def resolve(self, pasid: int, vpn: int, done: DoneCallback) -> None:
+        if pasid in self.dead_pasids:
+            self._counters["dead_resolves_dropped"] += 1
+            return
         key = (pasid, vpn)
         waiters = self._waiting.setdefault(key, [])
         waiters.append(done)
@@ -125,6 +136,20 @@ class AtsHandler(MissHandler):
             self.tracer.phase(response.pasid, response.vpn, "ats_response")
         for done in self._waiting.pop(key, []):
             done(entry)
+
+    def purge_pasid(self, pasid: int) -> int:
+        """Drop waiters and prefetch slots of a destroyed address space.
+
+        The IOMMU-side walks die in the walker's dead-PASID guard; any
+        response already in flight over PCIe finds no waiter here and is
+        discarded by :meth:`deliver_response`'s empty pop.
+        """
+        dead = [key for key in self._waiting if key[0] == pasid]
+        for key in dead:
+            del self._waiting[key]
+        for key in [k for k in self._prefetching if k[0] == pasid]:
+            del self._prefetching[key]
+        return len(dead)
 
 
 class FBarreHandler(MissHandler):

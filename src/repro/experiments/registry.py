@@ -36,6 +36,7 @@ FIGURES = {
     "fig27b": figures.fig27b_iommu_tlb,
     "area": figures.overhead_area,
     "ext-ondemand": figures.ext_ondemand_paging,
+    "ext-churn": figures.ext_multitenant_churn,
     "ablation-pw-queue": ablations.pw_queue_depth,
     "ablation-pec-buffer": ablations.pec_buffer_capacity,
     "ablation-stream-window": ablations.stream_window,

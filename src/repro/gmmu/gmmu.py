@@ -72,8 +72,15 @@ class GmmuHandler(MissHandler):
         self.chiplet_id = chiplet_id
         self._waiting: dict[tuple[int, int], list[Callable]] = {}
         self.gmmu.respond = self._deliver
+        #: Torn-down address spaces (shared with the simulator in scenario
+        #: runs); a post-teardown resolve would leak a waiter forever —
+        #: the GMMU flushes dead-PASID requests without responding.
+        self.dead_pasids: set[int] = set()
 
     def resolve(self, pasid: int, vpn: int, done: Callable) -> None:
+        if pasid in self.dead_pasids:
+            self.gmmu.stats.bump("dead_resolves_dropped")
+            return
         key = (pasid, vpn)
         waiters = self._waiting.setdefault(key, [])
         waiters.append(done)
@@ -88,3 +95,11 @@ class GmmuHandler(MissHandler):
                          coal=response.coal, pec=response.pec)
         for done in self._waiting.pop((response.pasid, response.vpn), []):
             done(entry)
+
+    def purge_pasid(self, pasid: int) -> int:
+        """Drop waiters of a destroyed address space (their GMMU walks die
+        in the walker's dead-PASID guard; a late response is a no-op)."""
+        dead = [key for key in self._waiting if key[0] == pasid]
+        for key in dead:
+            del self._waiting[key]
+        return len(dead)

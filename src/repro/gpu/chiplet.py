@@ -60,6 +60,10 @@ class Chiplet:
                           for s in range(config.streams_per_chiplet)]
         #: F-Barre agent (None for other backends).
         self.agent: CoalescingAgent | None = None
+        #: PASIDs torn down mid-run.  Scenario mode points every chiplet at
+        #: one shared set; the default path keeps it empty so the guards
+        #: are a no-op membership test on the miss path only.
+        self.dead_pasids: set[int] = set()
 
     # -- translation pipeline ---------------------------------------------------
 
@@ -71,6 +75,10 @@ class Chiplet:
         latency = self._l1_latency
         if entry is not None:
             self.queue.schedule(latency, lambda: done(entry))
+            return
+        if pasid in self.dead_pasids:
+            # A stalled requester retried after its tenant was torn down;
+            # allocating a fresh MSHR slot here would leak it forever.
             return
         key = (pasid, vpn)
         mshr = self._l1_mshrs[stream_id]
@@ -92,6 +100,8 @@ class Chiplet:
         done(entry)
 
     def _after_l1_miss(self, stream_id: int, pasid: int, vpn: int) -> None:
+        if pasid in self.dead_pasids:
+            return  # slot already dropped by teardown
         if self.valkyrie_l1_probing:
             for sibling, l1 in enumerate(self.l1s):
                 if sibling == stream_id:
@@ -103,15 +113,24 @@ class Chiplet:
                         self.tracer.phase(pasid, vpn, "valkyrie_l1_hit")
                     self.queue.schedule(
                         _L1_PROBE_LATENCY,
-                        lambda e=entry: self._l1_mshrs[stream_id].release(
-                            (pasid, vpn), e))
+                        lambda e=entry: self._release_l1(
+                            stream_id, (pasid, vpn), e))
                     return
         if self._trace_on:
             self.tracer.phase(pasid, vpn, "l2_lookup")
         self.queue.schedule(self._l2_latency,
                             lambda: self._l2_stage(stream_id, pasid, vpn))
 
+    def _release_l1(self, stream_id: int, key: tuple[int, int],
+                    entry: TlbEntry) -> None:
+        """Release an L1 MSHR unless its tenant died while we were queued."""
+        if key[0] in self.dead_pasids:
+            return
+        self._l1_mshrs[stream_id].release(key, entry)
+
     def _l2_stage(self, stream_id: int, pasid: int, vpn: int) -> None:
+        if pasid in self.dead_pasids:
+            return
         entry = self.l2.lookup(pasid, vpn)
         if entry is not None:
             self._l1_mshrs[stream_id].release((pasid, vpn), entry)
@@ -120,6 +139,8 @@ class Chiplet:
 
     def _l2_retry(self, stream_id: int, pasid: int, vpn: int) -> None:
         """An L2 MSHR freed up; recheck the (possibly just filled) L2."""
+        if pasid in self.dead_pasids:
+            return
         entry = self.l2.probe(pasid, vpn)  # probe: the miss was counted once
         if entry is not None:
             self._l1_mshrs[stream_id].release((pasid, vpn), entry)
@@ -127,6 +148,8 @@ class Chiplet:
         self._l2_miss(stream_id, pasid, vpn)
 
     def _l2_miss(self, stream_id: int, pasid: int, vpn: int) -> None:
+        if pasid in self.dead_pasids:
+            return
         key = (pasid, vpn)
         status = self.l2_mshr.allocate(
             key, lambda e: self._l1_mshrs[stream_id].release(key, e))
@@ -142,11 +165,18 @@ class Chiplet:
                                   lambda e: self._fill_l2(key, e))
 
     def _fill_l2(self, key: tuple[int, int], entry: TlbEntry) -> None:
+        if key[0] in self.dead_pasids:
+            # A peer/mesh reply landed after teardown: inserting it would
+            # resurrect a dead translation, and the MSHR slot is gone.
+            self.stats.bump("dead_fills_dropped")
+            return
         self.l2.insert(entry)
         self.l2_mshr.release(key, entry)
 
     def fill_l2_prefetch(self, entry: TlbEntry) -> None:
         """Valkyrie's L2 translation prefetch fill (no waiters)."""
+        if entry.pasid in self.dead_pasids:
+            return
         if self.l2.probe(entry.pasid, entry.vpn) is None \
                 and not self.l2_mshr.is_pending(entry.key):
             self.l2.insert(entry)

@@ -13,7 +13,7 @@ are ratios of ``SimResult.cycles``.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
+from collections import Counter, OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -39,9 +39,10 @@ from repro.mapping.driver import GpuDriver
 from repro.mapping.policies import make_policy
 from repro.memsim.links import DuplexLink, Mesh
 from repro.memsim.page_table import AddressSpaceRegistry
-from repro.memsim.tlb import MshrFile, Tlb
+from repro.memsim.tlb import MshrFile, Tlb, TlbEntry
 from repro.migration.acud import MigrationEngine
 from repro.paging.demand import DemandPager
+from repro.scenarios.scenario import Scenario, TenantPlan, apply_aging
 from repro.workloads.base import Workload
 
 
@@ -276,6 +277,17 @@ class McmGpuSimulator:
         pasids = [w.pasid for w in workloads]
         if len(set(pasids)) != len(pasids):
             raise ConfigError("workloads must use distinct PASIDs")
+        #: Multi-tenant timeline (``ScenarioWorkload``): tenants arrive and
+        #: depart as scheduled lifecycle events instead of all data being
+        #: mapped up front.  None for ordinary workloads.
+        self.scenario: Scenario | None = None
+        carried = [getattr(w, "scenario", None) for w in workloads]
+        if any(s is not None for s in carried):
+            if len(workloads) != 1:
+                raise ConfigError(
+                    "a scenario workload must be the only workload "
+                    "(its tenants are the apps)")
+            self.scenario = carried[0]
         self.config = config
         self.workloads = list(workloads)
         self.trace_scale = trace_scale
@@ -321,8 +333,13 @@ class McmGpuSimulator:
         if cfg.demand_paging:
             self.pager = DemandPager(self.driver,
                                      fault_latency=cfg.fault_latency)
-        allocate_workloads(self.driver, self.workloads, self.page_scale,
-                           pager=self.pager)
+        if self.scenario is not None:
+            # Tenants allocate at their arrival events; the allocators are
+            # pre-fragmented first so every tenant maps into an aged pool.
+            apply_aging(self.allocators, self.scenario)
+        else:
+            allocate_workloads(self.driver, self.workloads, self.page_scale,
+                               pager=self.pager)
 
         self.mesh = Mesh(self.queue, cfg.mesh, cfg.num_chiplets)
         self.sharing_mesh = (Mesh(self.queue, cfg.mesh, cfg.num_chiplets,
@@ -334,6 +351,7 @@ class McmGpuSimulator:
         self.pcie = DuplexLink(self.queue, cfg.pcie, name="pcie")
 
         self._ats_handlers: dict[int, AtsHandler] = {}
+        self._gmmu_handlers: list[GmmuHandler] = []
         self.iommu: Iommu | None = None
         self.gmmus: list[Gmmu] = []
         if not cfg.gmmu:
@@ -409,6 +427,29 @@ class McmGpuSimulator:
                 self.queue, cfg.migration, self.driver, self.chiplets,
                 self.mesh, page_scale=self.page_scale)
 
+        #: PASIDs torn down mid-run; shared by every chiplet's dead-PASID
+        #: guards.  Stays empty outside scenario mode.
+        self.dead_pasids: set[int] = set()
+        self._streams_by_pasid: dict[int, list[AccessStream]] = {}
+        self._teardowns = 0
+        #: Set to a PASID to re-insert one of its L2 entries after its
+        #: teardown — the invariant checker's stale-entry self-test.
+        self.inject_stale_pasid: int | None = None
+        self._pasid_counters: defaultdict[int, Counter] = defaultdict(Counter)
+        if self.scenario is not None:
+            for chiplet in self.chiplets:
+                chiplet.dead_pasids = self.dead_pasids
+            for ats in self._ats_handlers.values():
+                ats.dead_pasids = self.dead_pasids
+            for gmmu_handler in self._gmmu_handlers:
+                gmmu_handler.dead_pasids = self.dead_pasids
+            # One shared per-PASID counter bag across all walk sources, so
+            # the conservation law reads merged totals directly.
+            for src in ([self.iommu] if self.iommu is not None
+                        else self.gmmus):
+                src.per_pasid_gaps = True
+                src.pasid_counters = self._pasid_counters
+
         self._build_streams()
 
     def _base_handler(self, cid: int):
@@ -431,7 +472,9 @@ class McmGpuSimulator:
             if self.pager is not None:
                 gmmu.fault_handler = self.pager.handle_fault
             self.gmmus.append(gmmu)
-            return GmmuHandler(gmmu, cid)
+            handler = GmmuHandler(gmmu, cid)
+            self._gmmu_handlers.append(handler)
+            return handler
         assert self.iommu is not None
         handler = AtsHandler(
             self.queue, cid, self.pcie.up, self.iommu.receive,
@@ -465,11 +508,13 @@ class McmGpuSimulator:
 
     def _build_streams(self) -> None:
         cfg = self.config
+        self.streams: list[AccessStream] = []
+        self._remaining = 0
+        if self.scenario is not None:
+            return  # streams are built per tenant, at its arrival event
         per_chiplet_ctas = build_access_trace(
             cfg, self.workloads, self.driver, self.page_scale,
             self.trace_scale)
-        self.streams: list[AccessStream] = []
-        self._remaining = 0
         for cid, chiplet in enumerate(self.chiplets):
             buckets: list[list[TraceAccess]] = [
                 [] for _ in range(cfg.streams_per_chiplet)]
@@ -512,9 +557,106 @@ class McmGpuSimulator:
     def _stream_drained(self, stream: AccessStream) -> None:
         self._remaining -= 1
 
+    # -- tenant lifecycle (scenario mode) ------------------------------------
+
+    def _arrive_tenant(self, plan: TenantPlan) -> None:
+        """Map a tenant's data and start its streams (lifecycle event)."""
+        cfg = self.config
+        workload = plan.workload
+        allocate_workloads(self.driver, [workload], self.page_scale,
+                           pager=self.pager)
+        per_chiplet_ctas = build_access_trace(
+            cfg, [workload], self.driver, self.page_scale, self.trace_scale)
+        streams: list[AccessStream] = []
+        for cid, chiplet in enumerate(self.chiplets):
+            buckets: list[list[TraceAccess]] = [
+                [] for _ in range(cfg.streams_per_chiplet)]
+            for index, accesses in enumerate(per_chiplet_ctas[cid]):
+                buckets[index % cfg.streams_per_chiplet].extend(accesses)
+            for sid, accesses in enumerate(buckets):
+                if not accesses:
+                    continue
+                stream = AccessStream(
+                    self.queue, sid, accesses, cfg.stream_window,
+                    translate=chiplet.translate,
+                    access_data=self._make_data_access(cid),
+                    on_drained=self._stream_drained,
+                    chiplet_id=cid, tracer=self.tracer)
+                self.streams.append(stream)
+                streams.append(stream)
+                self._remaining += 1
+                stream.start()
+        self._streams_by_pasid[plan.pasid] = streams
+
+    def _teardown_tenant(self, plan: TenantPlan) -> None:
+        """Destroy a tenant's address space mid-run (lifecycle event).
+
+        The teardown order matters: mark the PASID dead first (so every
+        callback that fires this very cycle already sees it), cancel the
+        tenant's streams, drop its in-flight hardware state outside-in
+        (MSHRs, TLBs, PEC buffers, handler wait queues, walker queues,
+        migration counters), and only then free its pages and page table.
+        In-flight walks die in the walkers' dead-PASID guards.
+        """
+        pasid = plan.pasid
+        stale = None
+        if self.inject_stale_pasid == pasid and pasid in self.spaces:
+            # Snapshot one live translation before the table dies; timing
+            # never leaves this empty (unlike scanning for a resident TLB
+            # entry, which can miss a tenant torn down mid-first-walk).
+            table = self.spaces.get(pasid)
+            for (p, _data_id), record in sorted(self.driver.data.items()):
+                if p != pasid or not record.chiplet_by_vpn:
+                    continue
+                vpn = min(record.chiplet_by_vpn)
+                stale = TlbEntry(pasid=pasid, vpn=vpn,
+                                 global_pfn=table.walk(vpn).global_pfn)
+                break
+        self.dead_pasids.add(pasid)
+        for stream in self._streams_by_pasid.get(pasid, []):
+            stream.cancel()
+        mshrs: dict[int, MshrFile] = {}
+        tlbs: dict[int, Tlb] = {}
+        for chiplet in self.chiplets:
+            for mshr in [*chiplet._l1_mshrs, chiplet.l2_mshr]:
+                mshrs[id(mshr)] = mshr
+            for tlb in [*chiplet.l1s, chiplet.l2]:
+                tlbs[id(tlb)] = tlb
+        for mshr in mshrs.values():
+            mshr.drop_pasid(pasid)
+        for tlb in tlbs.values():
+            tlb.invalidate_pasid(pasid)
+        for agent in self.agents.values():
+            agent.pec.pec_buffer.remove_pasid(pasid)
+        for ats in self._ats_handlers.values():
+            ats.purge_pasid(pasid)
+        for gmmu_handler in self._gmmu_handlers:
+            gmmu_handler.purge_pasid(pasid)
+        if self.iommu is not None:
+            self.iommu.purge_pasid(pasid)
+        for gmmu in self.gmmus:
+            gmmu.purge_pasid(pasid)
+        if self.migration is not None:
+            self.migration.purge_pasid(pasid)
+        self.driver.destroy_pasid(pasid)
+        self._teardowns += 1
+        if stale is not None:
+            # Self-test hook: resurrect one translation of the dead address
+            # space so the invariant checker's teardown sweep must trip
+            # (mirrors --inject-pec-bug for the PEC check).
+            self.chiplets[0].l2.insert(stale)
+
     # -- execution -----------------------------------------------------------
 
     def run(self, max_events: int | None = None) -> SimResult:
+        if self.scenario is not None:
+            # Canonical replay order: same-cycle ties resolve arrivals
+            # first, then by PASID — identical in the oracle's replay.
+            for event in self.scenario.lifecycle_events():
+                action = (self._arrive_tenant if event.kind == "arrive"
+                          else self._teardown_tenant)
+                self.queue.schedule(
+                    event.cycle, lambda a=action, p=event.tenant: a(p))
         for stream in self.streams:
             stream.start()
         self.queue.run(max_events=max_events)
@@ -582,6 +724,14 @@ class McmGpuSimulator:
         for gmmu in self.gmmus:
             result.gmmu_local_walks += gmmu.stats.count("local_walks")
             result.gmmu_remote_walks += gmmu.stats.count("remote_walks")
+        if self.scenario is not None:
+            result.extra["scenario"] = self.scenario.name
+            result.extra["scenario_seed"] = self.scenario.seed
+            result.extra["teardowns"] = self._teardowns
+            result.extra["dead_pasids"] = sorted(self.dead_pasids)
+            result.extra["pasid_counters"] = {
+                pasid: dict(counters)
+                for pasid, counters in sorted(self._pasid_counters.items())}
         return result
 
 

@@ -67,6 +67,7 @@ class AccessStream:
         self._outstanding = 0
         self._completed = 0
         self._issue_ready = True
+        self._cancelled = False
         self.finish_time: int | None = None
         self.instructions = sum(a.weight for a in accesses)
 
@@ -77,8 +78,25 @@ class AccessStream:
             return
         self.queue.schedule(0, self._try_issue)
 
+    def cancel(self) -> None:
+        """Stop issuing and drain immediately (PASID teardown).
+
+        Idempotent.  In-flight translations are abandoned: their
+        ``translated`` callbacks become no-ops, which is exactly the
+        no-stale-translation property — a cancelled stream never observes
+        a PFN delivered after its address space died.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self.finish_time is None:
+            self.finish_time = self.queue.now
+            self.on_drained(self)
+
     def _try_issue(self) -> None:
         """Issue the next access if the window has room."""
+        if self._cancelled:
+            return
         if not self._issue_ready or self._next_index >= self._num_accesses:
             return
         if self._outstanding >= self.window:
@@ -95,6 +113,8 @@ class AccessStream:
                 if self._trace_on else None)
 
         def translated(entry) -> None:
+            if self._cancelled:
+                return  # no-stale-translation: drop post-teardown replies
             latency = self.queue.now - issued_at
             # Inlined stats.observe + latency_hist.add (latency is a
             # nonnegative int here, so the method-level guards are moot).
@@ -119,6 +139,8 @@ class AccessStream:
         self._try_issue()
 
     def _complete(self) -> None:
+        if self._cancelled:
+            return
         self._outstanding -= 1
         self._completed += 1
         if self._completed == self._num_accesses:
@@ -129,4 +151,4 @@ class AccessStream:
 
     @property
     def drained(self) -> bool:
-        return self._completed == self._num_accesses
+        return self._cancelled or self._completed == self._num_accesses

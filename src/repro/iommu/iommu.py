@@ -66,6 +66,18 @@ class Iommu:
         #: Distribution of |VPN gap| between consecutive arrivals (Fig 5).
         self.vpn_gaps = Histogram()
         self._last_vpn: int | None = None
+        #: Scenario mode keys the gap stream per PASID so one tenant's
+        #: arrivals don't pollute another's locality histogram.  Off by
+        #: default: the single-app path must stay byte-identical.
+        self.per_pasid_gaps = False
+        self._last_vpn_by_pasid: dict[int, int] = {}
+        #: Opt-in per-PASID conservation counters (scenario mode installs a
+        #: ``defaultdict(Counter)`` here; None keeps the default path free).
+        self.pasid_counters: dict | None = None
+        #: Address spaces explicitly destroyed by teardown.  The dead-PASID
+        #: guards key off this, NOT off registry membership: a walk for a
+        #: never-created space must still be a hard error, not a flush.
+        self.dead_pasids: set[int] = set()
         self.pec = PecLogic(pec_buffer, chiplet_bases,
                             compact_bitmap=compact_bitmap, name="iommu.pec")
         self.pec.tracer = tracer
@@ -91,16 +103,26 @@ class Iommu:
     def receive(self, request: AtsRequest) -> None:
         """An ATS request arrived over PCIe."""
         self._counters["ats_requests"] += 1
+        if self.pasid_counters is not None:
+            self.pasid_counters[request.pasid]["ats_requests"] += 1
         if self._trace_on and not request.prefetch:
             self.tracer.phase(request.pasid, request.vpn, "iommu_receive")
-        if self._last_vpn is not None:
-            self.vpn_gaps.add(abs(request.vpn - self._last_vpn))
-        self._last_vpn = request.vpn
+        if self.per_pasid_gaps:
+            last = self._last_vpn_by_pasid.get(request.pasid)
+            if last is not None:
+                self.vpn_gaps.add(abs(request.vpn - last))
+            self._last_vpn_by_pasid[request.pasid] = request.vpn
+        else:
+            if self._last_vpn is not None:
+                self.vpn_gaps.add(abs(request.vpn - self._last_vpn))
+            self._last_vpn = request.vpn
         self._arrival[id(request)] = self.queue.now
         if self._tlb is not None:
             hit = self._tlb.lookup(request.pasid, request.vpn)
             if hit is not None:
                 self._counters["iommu_tlb_hits"] += 1
+                if self.pasid_counters is not None:
+                    self.pasid_counters[request.pasid]["iommu_tlb_hits"] += 1
                 self.queue.schedule(self._tlb_latency,
                                     lambda: self._finish(request, hit.global_pfn,
                                                          hit.coal, "iommu_tlb"))
@@ -116,6 +138,8 @@ class Iommu:
         if walk is not None:
             walk.requests.append(request)  # merge with in-flight walk
             self._counters["walk_merges"] += 1
+            if self.pasid_counters is not None:
+                self.pasid_counters[request.pasid]["walk_merges"] += 1
             if self._trace_on and not request.prefetch:
                 self.tracer.phase(request.pasid, request.vpn, "walk_merge")
             return
@@ -124,6 +148,8 @@ class Iommu:
             # Prefetch walks are lowest priority: dropped under pressure
             # (a prefetch has no waiter, so no response is owed).
             self.stats.bump("prefetches_dropped")
+            if self.pasid_counters is not None:
+                self.pasid_counters[request.pasid]["prefetches_dropped"] += 1
             self._arrival.pop(id(request), None)
             return
         # Same-key requests already queued are merged at dispatch time.
@@ -148,13 +174,26 @@ class Iommu:
             if walk is not None:
                 walk.requests.append(request)
                 self._counters["walk_merges"] += 1
+                if self.pasid_counters is not None:
+                    self.pasid_counters[request.pasid]["walk_merges"] += 1
                 if self._trace_on and not request.prefetch:
                     self.tracer.phase(request.pasid, request.vpn, "walk_merge")
+                continue
+            if request.pasid in self.dead_pasids:
+                # Tenant destroyed between admission and dispatch (e.g. a
+                # TLB-miss re-enqueue landing after teardown): drop rather
+                # than walk a freed page table.
+                self._counters["teardown_flushed"] += 1
+                if self.pasid_counters is not None:
+                    self.pasid_counters[request.pasid]["teardown_flushed"] += 1
+                self._arrival.pop(id(request), None)
                 continue
             self._walking[request.key] = _WalkState(
                 pasid=request.pasid, vpn=request.vpn, requests=[request])
             self._free_ptws -= 1
             self._counters["walks"] += 1
+            if self.pasid_counters is not None:
+                self.pasid_counters[request.pasid]["walks"] += 1
             if self._trace_on and not request.prefetch:
                 self.tracer.phase(request.pasid, request.vpn, "walk")
             self.queue.schedule(self._walk_latency(request),
@@ -168,6 +207,18 @@ class Iommu:
         walk = self._walking.get(key)
         if walk is None:
             raise SimulationError(f"walk completion for unknown key {key}")
+        if walk.pasid in self.dead_pasids:
+            # The address space was destroyed while this walk was in
+            # flight (teardown mid-walk): drop the walk and every merged
+            # requester — their streams died with the PASID, and resolving
+            # against a freed page table would return a dead translation.
+            del self._walking[key]
+            self._free_ptws += 1
+            self.stats.bump("dead_walks")
+            for request in walk.requests:
+                self._arrival.pop(id(request), None)
+            self._dispatch()
+            return
         table = self.spaces.get(walk.pasid)
         if not table.is_mapped(walk.vpn) and self.fault_handler is not None:
             # Demand fault: the walker stalls while the host services it
@@ -215,6 +266,8 @@ class Iommu:
                 survivors.append(request)
                 continue
             self.stats.bump("pec_coalesced")
+            if self.pasid_counters is not None:
+                self.pasid_counters[request.pasid]["pec_coalesced"] += 1
             own = self.pec.synthesize_fields(walk.pasid, request.vpn,
                                              walk.vpn, fields)
             if self._tlb is not None and own is not None:
@@ -241,6 +294,36 @@ class Iommu:
             pasid=request.pasid, vpn=request.vpn, global_pfn=global_pfn,
             dst_chiplet=request.src_chiplet, source=source, coal=coal,
             pec=desc, prefetch=request.prefetch))
+
+    # -- teardown ---------------------------------------------------------------
+
+    def purge_pasid(self, pasid: int) -> int:
+        """Flush queued state of a destroyed address space.
+
+        Drops the PASID's PW-queue entries (counted as ``teardown_flushed``
+        — they were admitted as ``ats_requests`` but will never walk), its
+        IOMMU-TLB entries, and its gap-tracking cursor.  Walks already in
+        flight are left to die in :meth:`_walk_done`'s dead-PASID guard.
+        """
+        self.dead_pasids.add(pasid)
+        flushed = 0
+        if self._pending:
+            survivors: deque[AtsRequest] = deque()
+            for request in self._pending:
+                if request.pasid == pasid:
+                    flushed += 1
+                    self._arrival.pop(id(request), None)
+                else:
+                    survivors.append(request)
+            self._pending = survivors
+        if flushed:
+            self._counters["teardown_flushed"] += flushed
+            if self.pasid_counters is not None:
+                self.pasid_counters[pasid]["teardown_flushed"] += flushed
+        self._last_vpn_by_pasid.pop(pasid, None)
+        if self._tlb is not None:
+            self._tlb.invalidate_pasid(pasid)
+        return flushed
 
     # -- introspection ----------------------------------------------------------
 

@@ -259,6 +259,13 @@ class PecBuffer:
                 return desc
         return None
 
+    def remove_pasid(self, pasid: int) -> int:
+        """Drop every descriptor belonging to ``pasid`` (address-space
+        teardown); returns how many entries were removed."""
+        before = len(self._entries)
+        self._entries = [d for d in self._entries if d.pasid != pasid]
+        return before - len(self._entries)
+
     def size_bits(self) -> int:
         """Total storage (Section VII-K: 5 x 118 = 590 bits)."""
         return self.capacity * PEC_ENTRY_BITS

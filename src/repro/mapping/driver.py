@@ -338,16 +338,38 @@ class GpuDriver:
     # -- teardown / migration support ---------------------------------------
 
     def free(self, pasid: int, data_id: int) -> None:
-        """Unmap a data object and release its frames."""
+        """Unmap a data object and release its frames.
+
+        Iterates the *materialized* pages (``chiplet_by_vpn``), not the
+        whole VPN range: a lazily-allocated object may have faulted in only
+        some of its pages, and walking an unmapped VPN would raise.
+        """
         record = self.data.pop((pasid, data_id))
         table = self.spaces.get(pasid)
-        for vpn in range(record.start_vpn, record.end_vpn + 1):
+        for vpn, chiplet in record.chiplet_by_vpn.items():
             fields = table.walk(vpn)
-            chiplet = record.chiplet_by_vpn[vpn]
             local_pfn = fields.global_pfn - self.memory_map.base_of(chiplet)
             table.unmap(vpn)
             self.allocators[chiplet].release(local_pfn)
         self.allocators.reset_hints()
+
+    def destroy_pasid(self, pasid: int) -> int:
+        """Tear down one address space: free its data, drop its PEC
+        descriptors, forget its VA cursor, unregister its page table.
+
+        Returns the number of data objects freed.  The caller (simulator
+        teardown path) is responsible for invalidating cached translation
+        state — TLBs, MSHRs, in-flight walks — which lives outside the
+        driver.
+        """
+        data_ids = [d for (p, d) in self.data if p == pasid]
+        for data_id in data_ids:
+            self.free(pasid, data_id)
+        self.pec_buffer.remove_pasid(pasid)
+        self._next_vpn.pop(pasid, None)
+        if pasid in self.spaces:
+            self.spaces.destroy(pasid)
+        return len(data_ids)
 
     def chiplet_of(self, pasid: int, vpn: int) -> int:
         """Owning chiplet of a VPN (data-access locality model).

@@ -131,6 +131,17 @@ class AddressSpaceRegistry:
         except KeyError:
             raise TranslationError(f"no page table for PASID {pasid}") from None
 
+    def destroy(self, pasid: int) -> PageTable:
+        """Unregister a PASID's table; raises if it was never registered.
+
+        After this, ``pasid in registry`` is False and any in-flight walk
+        for it must be dropped by the walker, not resolved.
+        """
+        try:
+            return self._tables.pop(pasid)
+        except KeyError:
+            raise TranslationError(f"no page table for PASID {pasid}") from None
+
     def __contains__(self, pasid: int) -> bool:
         return pasid in self._tables
 

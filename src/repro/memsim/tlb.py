@@ -212,6 +212,24 @@ class Tlb:
                 self.on_evict(entry)
         return entry
 
+    def invalidate_pasid(self, pasid: int) -> int:
+        """Flush every entry of one address space (PASID teardown).
+
+        Fires ``on_evict`` per entry so filter mirrors (F-Barre LCF/RCF)
+        stay consistent; returns how many entries were dropped.
+        """
+        dropped = 0
+        for entries in self._sets:
+            dead = [key for key in entries if key[0] == pasid]
+            for key in dead:
+                entry = entries.pop(key)
+                dropped += 1
+                if self.on_evict is not None:
+                    self.on_evict(entry)
+        if dropped:
+            self._counters["pasid_invalidations"] += dropped
+        return dropped
+
     def shootdown(self) -> int:
         """Flush everything; returns how many entries were dropped."""
         dropped = 0
@@ -288,6 +306,23 @@ class MshrFile:
             waiter(result)
         while self._slot_waiters and len(self._slots) < self.capacity:
             self._slot_waiters.pop(0)()
+
+    def drop_pasid(self, pasid: int) -> int:
+        """Discard outstanding misses of a destroyed address space.
+
+        The waiters are *not* run — their streams are cancelled with the
+        PASID, and running them would deliver a dead translation.  Freed
+        capacity re-admits stalled requesters just like :meth:`release`.
+        """
+        dead = [key for key in self._slots
+                if isinstance(key, tuple) and key and key[0] == pasid]
+        for key in dead:
+            del self._slots[key]
+        if dead:
+            self._counters["teardown_drops"] += len(dead)
+        while self._slot_waiters and len(self._slots) < self.capacity:
+            self._slot_waiters.pop(0)()
+        return len(dead)
 
     def outstanding(self) -> int:
         return len(self._slots)

@@ -13,6 +13,7 @@ from collections import Counter
 from typing import TYPE_CHECKING
 
 from repro.common.config import MigrationConfig
+from repro.common.errors import AllocationError
 from repro.common.events import EventQueue
 from repro.common.stats import StatSet
 from repro.mapping.driver import GpuDriver
@@ -48,7 +49,16 @@ class MigrationEngine:
             self._migrate(pasid, vpn, src=owner, dest=accessor)
 
     def _migrate(self, pasid: int, vpn: int, src: int, dest: int) -> None:
-        affected = self.driver.migrate_page(pasid, vpn, dest)
+        try:
+            affected = self.driver.migrate_page(pasid, vpn, dest)
+        except AllocationError:
+            # The page's owner is gone (freed, torn down, or never
+            # materialized): drop the stale counters instead of assuming
+            # a live allocation record.
+            self.stats.bump("stale_migrations")
+            for chiplet_id in range(len(self.chiplets)):
+                self._counters.pop((pasid, vpn, chiplet_id), None)
+            return
         if not affected:
             return
         self.stats.bump("migrations")
@@ -65,6 +75,13 @@ class MigrationEngine:
         # Reset every counter of the moved page: it starts fresh at home.
         for chiplet_id in range(len(self.chiplets)):
             self._counters.pop((pasid, vpn, chiplet_id), None)
+
+    def purge_pasid(self, pasid: int) -> int:
+        """Drop all access counters of a destroyed address space."""
+        dead = [key for key in self._counters if key[0] == pasid]
+        for key in dead:
+            del self._counters[key]
+        return len(dead)
 
     @property
     def migrations(self) -> int:

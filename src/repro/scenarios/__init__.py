@@ -1,0 +1,42 @@
+"""Seeded, deterministic multi-tenant scenario generation.
+
+A :class:`Scenario` composes a dynamic-workload timeline: tenants (each a
+calibrated or fuzzed :class:`~repro.workloads.base.Workload` under its own
+PASID) arrive and depart at fixed cycles, optionally over a pre-aged
+(fragmented) frame allocator, with demand-paging/migration storms supplied
+by the scheme configuration.  The timeline is pure data — the simulator
+(:mod:`repro.gpu.mcm`) schedules it on the event queue, and the timing-free
+oracle (:mod:`repro.validation.oracle`) replays the same canonical event
+order against the same driver stack, which is what lets the differential
+harness and the invariant checker run unchanged over churn runs.
+
+See ``docs/scenarios.md`` for the knobs, the determinism contract, and the
+property laws the validation layer enforces.
+"""
+
+from repro.scenarios.conservation import (
+    CONSERVATION_LAW,
+    conservation_violations,
+)
+from repro.scenarios.named import NAMED_SCENARIOS, named_scenario
+from repro.scenarios.scenario import (
+    AgingPlan,
+    LifecycleEvent,
+    Scenario,
+    ScenarioWorkload,
+    TenantPlan,
+    apply_aging,
+)
+
+__all__ = [
+    "AgingPlan",
+    "CONSERVATION_LAW",
+    "LifecycleEvent",
+    "NAMED_SCENARIOS",
+    "Scenario",
+    "ScenarioWorkload",
+    "TenantPlan",
+    "apply_aging",
+    "conservation_violations",
+    "named_scenario",
+]

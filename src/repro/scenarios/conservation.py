@@ -1,0 +1,52 @@
+"""The per-PASID walk-work conservation law.
+
+PR 8 established the single-tenant law ``walks + walk_merges +
+pec_coalesced == ats_requests`` (every admitted ATS request is answered by
+exactly one of: a new walk, a merge into an in-flight walk, or a PEC
+calculation).  Churn adds three admission outcomes — an IOMMU-TLB hit, a
+dropped prefetch, and a teardown flush (the request's tenant died before
+its walk dispatched) — so the full classification is:
+
+    ats_requests == walks + walk_merges + pec_coalesced
+                    + iommu_tlb_hits + prefetches_dropped
+                    + teardown_flushed
+
+per PASID, where ``walks`` counts the one request that opened each walk.
+Requests merged into a walk that later dies in the dead-PASID guard were
+already classified at merge time, so teardown never un-classifies anything
+— the law survives teardown by construction, and the checker below proves
+it does in practice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+#: Human-readable statement of the law (docs, reports, test messages).
+CONSERVATION_LAW = ("ats_requests == walks + walk_merges + pec_coalesced"
+                    " + iommu_tlb_hits + prefetches_dropped"
+                    " + teardown_flushed")
+
+_SINKS = ("walks", "walk_merges", "pec_coalesced", "iommu_tlb_hits",
+          "prefetches_dropped", "teardown_flushed")
+
+
+def conservation_violations(per_pasid: Mapping[int, Mapping[str, int]]
+                            ) -> list[str]:
+    """Check the law for every PASID; returns violation descriptions.
+
+    ``per_pasid`` is the merged per-PASID counter map a scenario run
+    exposes in ``SimResult.extra["pasid_counters"]`` (one Counter per
+    PASID, summed over the IOMMU or all GMMUs).
+    """
+    out = []
+    for pasid in sorted(per_pasid):
+        counters = per_pasid[pasid]
+        admitted = counters.get("ats_requests", 0)
+        classified = sum(counters.get(name, 0) for name in _SINKS)
+        if admitted != classified:
+            parts = ", ".join(f"{name}={counters.get(name, 0)}"
+                              for name in _SINKS)
+            out.append(f"pasid {pasid}: ats_requests={admitted} but "
+                       f"{parts} (sum {classified}) — {CONSERVATION_LAW}")
+    return out

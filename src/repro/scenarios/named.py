@@ -1,0 +1,90 @@
+"""Pinned, named scenarios: stable timelines for figures, smoke tests,
+golden digests, and regression pinning.
+
+These are hand-written rather than fuzzed so their digests can be pinned:
+``named_scenario("churn-min")`` must produce the identical timeline (and,
+per scheme, the identical stats) forever.  The fuzzed corpus lives in
+:func:`repro.validation.fuzz.churn_scenario`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.scenarios.scenario import AgingPlan, Scenario, TenantPlan
+from repro.workloads.base import DataSpec, Workload
+
+
+def _tenant(abbr: str, pasid: int, pages: int, pattern: str = "stream",
+            num_ctas: int = 8, accesses_per_cta: int = 24,
+            gap: int = 4) -> Workload:
+    return Workload(
+        abbr=abbr, app_name=f"scenario tenant {abbr}", suite="scenario",
+        category="mid", paper_mpki=0.0,
+        data=(DataSpec(name=f"{abbr}-data", pages=pages),),
+        pattern=pattern, weight=2.0, gap=gap,
+        accesses_per_cta=accesses_per_cta, num_ctas=num_ctas, pasid=pasid)
+
+
+def _churn_min(seed: int) -> Scenario:
+    """The smallest churn case that exercises teardown mid-walk.
+
+    Tenant 1 departs at cycle 600: its first accesses missed every TLB at
+    arrival and their page-table walks (500-cycle latency, Table II) are
+    still in flight when the address space dies — the IOMMU's dead-PASID
+    guard, the MSHR drops, and the stream cancellation all fire.
+    """
+    return Scenario(
+        name="churn-min", seed=seed,
+        tenants=(
+            TenantPlan(_tenant("cm0", pasid=0, pages=48)),
+            TenantPlan(_tenant("cm1", pasid=1, pages=32, pattern="stride"),
+                       arrival=0, departure=600),
+        ))
+
+
+def _churn_small(seed: int) -> Scenario:
+    """A small three-tenant timeline over an aged allocator (CI smoke)."""
+    return Scenario(
+        name="churn-small", seed=seed,
+        tenants=(
+            TenantPlan(_tenant("cs0", pasid=0, pages=64)),
+            TenantPlan(_tenant("cs1", pasid=1, pages=48, pattern="stride"),
+                       arrival=400, departure=4000),
+            TenantPlan(_tenant("cs2", pasid=2, pages=40, pattern="random"),
+                       arrival=1200),
+        ),
+        aging=AgingPlan(fraction=0.2, release_every=2))
+
+
+def _multi_tenant(seed: int) -> Scenario:
+    """The multi-tenant figure scenario: four tenants, two churned, aged."""
+    return Scenario(
+        name="multi-tenant", seed=seed,
+        tenants=(
+            TenantPlan(_tenant("mt0", pasid=0, pages=96, num_ctas=16)),
+            TenantPlan(_tenant("mt1", pasid=1, pages=64, pattern="stride",
+                               num_ctas=16)),
+            TenantPlan(_tenant("mt2", pasid=2, pages=56, pattern="random"),
+                       arrival=800, departure=6000),
+            TenantPlan(_tenant("mt3", pasid=3, pages=48, pattern="stencil"),
+                       arrival=2000, departure=9000),
+        ),
+        aging=AgingPlan(fraction=0.3, release_every=2))
+
+
+NAMED_SCENARIOS = {
+    "churn-min": _churn_min,
+    "churn-small": _churn_small,
+    "multi-tenant": _multi_tenant,
+}
+
+
+def named_scenario(name: str, seed: int = 0) -> Scenario:
+    """Build a pinned scenario by name (seed only varies aging/traces)."""
+    try:
+        factory = NAMED_SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r} (choose from "
+            f"{', '.join(sorted(NAMED_SCENARIOS))})") from None
+    return factory(seed)

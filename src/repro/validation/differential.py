@@ -43,7 +43,13 @@ from repro.common.errors import (
 )
 from repro.experiments import configs
 from repro.gpu.mcm import McmGpuSimulator
-from repro.validation.fuzz import fuzz_workload
+from repro.scenarios import (
+    NAMED_SCENARIOS,
+    ScenarioWorkload,
+    conservation_violations,
+    named_scenario,
+)
+from repro.validation.fuzz import churn_scenario, fuzz_workload
 from repro.validation.oracle import RefAccess, reference_translation
 from repro.workloads.base import Workload
 
@@ -175,6 +181,7 @@ def validate_point(scheme: str, config: SimConfig,
                    inject_pec_offset: int = 0,
                    attach_spans: bool = True,
                    engine: str = "event",
+                   inject_stale_entry: bool = False,
                    ) -> tuple[SchemeRun, list[Divergence]]:
     """Run one scheme on one point and compare every PFN to the oracle.
 
@@ -183,10 +190,21 @@ def validate_point(scheme: str, config: SimConfig,
     tracer or runtime invariant checker, so divergence reports carry no
     span and ``check_invariants`` is ignored; the oracle comparison — the
     exactness contract both engines share — is identical.
+
+    Scenario (multi-tenant churn) points additionally enforce the two
+    churn property laws: **no stale translation** (a PFN delivered for a
+    PASID after its teardown is a violation even if numerically correct)
+    and the per-PASID **conservation law**
+    (:data:`repro.scenarios.CONSERVATION_LAW`).
     """
+    scenario = (getattr(workloads[0], "scenario", None)
+                if len(workloads) == 1 else None)
     ref = reference_translation(config, workloads, trace_scale)
     run = SchemeRun(scheme=scheme, seed=seed)
     if engine == "batch":
+        if scenario is not None:
+            raise ConfigError("the batch engine has no event timeline; "
+                              "scenario validation needs --engine event")
         from repro.batch import BatchSimulator
         sim = BatchSimulator(config.replace(engine="batch"), workloads,
                              trace_scale=trace_scale)
@@ -196,11 +214,20 @@ def validate_point(scheme: str, config: SimConfig,
                               check_invariants=check_invariants)
     if inject_pec_offset:
         _inject_pec_offset(sim, inject_pec_offset)
+    if inject_stale_entry:
+        if scenario is None or not scenario.churned_pasids:
+            raise ConfigError("--inject-stale-entry needs a scenario with "
+                              "at least one departing tenant")
+        sim.inject_stale_pasid = min(scenario.churned_pasids)
     mismatches: dict[tuple[int, int], int] = {}
+    stale_deliveries: list[tuple[int, int, int]] = []
+    dead_pasids = getattr(sim, "dead_pasids", frozenset())
 
     def observer(_cid: int, _stream: int, pasid: int, vpn: int,
                  pfn: int) -> None:
         run.accesses += 1
+        if pasid in dead_pasids:
+            stale_deliveries.append((pasid, vpn, pfn))
         key = (pasid, vpn)
         run.observed.setdefault(key, pfn)
         expected = ref.translations.get(key)
@@ -213,6 +240,17 @@ def validate_point(scheme: str, config: SimConfig,
     except (InvariantViolation, SimulationError) as exc:
         run.violation = f"seed {seed}, {scheme}: {type(exc).__name__}: {exc}"
     run.distinct_keys = len(run.observed)
+    if scenario is not None and run.violation is None:
+        problems = []
+        if stale_deliveries:
+            pasid, vpn, pfn = stale_deliveries[0]
+            problems.append(
+                f"{len(stale_deliveries)} stale deliveries after teardown "
+                f"(first: pasid {pasid} vpn {vpn:#x} -> {pfn:#x})")
+        problems.extend(conservation_violations(sim._pasid_counters))
+        if problems:
+            run.violation = (f"seed {seed}, {scheme}: scenario "
+                             f"{scenario.name}: " + "; ".join(problems))
     divergences: list[Divergence] = []
     if mismatches:
         # Report the divergence that is earliest in canonical access order.
@@ -236,11 +274,18 @@ def validate_point(scheme: str, config: SimConfig,
 
 
 def _cross_check(seed: int, ref_runs: list[SchemeRun],
-                 frames_per_chiplet: int) -> list[Divergence]:
+                 frames_per_chiplet: int,
+                 immortal_pasids: set[int] | None = None
+                 ) -> list[Divergence]:
     """Pairwise functional equality of all clean runs for one seed.
 
     Checks the translated key *sets* match and that each page's owner
     chiplet agrees (see the module docstring for why raw PFNs may not).
+
+    For scenario (churn) seeds, ``immortal_pasids`` limits the key-set
+    equality requirement to tenants alive at end of run: a churned
+    tenant's cancelled accesses legitimately cut off at scheme-dependent
+    points, so its keys are compared only where both schemes delivered.
     """
     clean = [r for r in ref_runs if r.violation is None]
     if len(clean) < 2:
@@ -252,6 +297,10 @@ def _cross_check(seed: int, ref_runs: list[SchemeRun],
         for key in sorted(keys):
             a = first.observed.get(key)
             b = other.observed.get(key)
+            if (immortal_pasids is not None
+                    and key[0] not in immortal_pasids
+                    and (a is None or b is None)):
+                continue  # churned tenant: intersection-only comparison
             same_owner = (a is not None and b is not None
                           and a // frames_per_chiplet
                           == b // frames_per_chiplet)
@@ -270,13 +319,23 @@ def run_validation(schemes: Sequence[str], seeds: Sequence[int],
                    trace_scale: float = 1.0,
                    check_invariants: bool = True,
                    inject_pec_offset: int = 0,
-                   engine: str = "event") -> ValidationReport:
+                   engine: str = "event",
+                   scenario: str | None = None,
+                   inject_stale_entry: bool = False) -> ValidationReport:
     """The full differential sweep behind ``python -m repro validate``.
 
     ``engine`` selects the execution engine under test (``"event"`` or
     ``"batch"``); the oracle side never changes.  The batch engine only
     supports the ats/baseline, barre, and fbarre schemes — others raise
     :class:`ConfigError` up front.
+
+    ``scenario`` switches the per-seed workload from a single fuzzed app
+    to a multi-tenant churn timeline: ``"churn"`` draws a fresh fuzzed
+    scenario per seed (:func:`repro.validation.fuzz.churn_scenario`);
+    a pinned name from :data:`repro.scenarios.NAMED_SCENARIOS` replays
+    that fixed timeline with per-seed traces/aging.  Scenario runs are
+    event-engine only and additionally enforce the no-stale-translation
+    and per-PASID conservation laws.
     """
     unknown = [s for s in schemes if s not in SCHEME_FACTORIES]
     if unknown:
@@ -284,6 +343,16 @@ def run_validation(schemes: Sequence[str], seeds: Sequence[int],
                           f"(choose from {', '.join(sorted(SCHEME_FACTORIES))})")
     if engine not in ("event", "batch"):
         raise ConfigError(f"unknown engine {engine!r}")
+    if scenario is not None and engine == "batch":
+        raise ConfigError("scenario validation needs the event engine "
+                          "(lifecycle events have no batch equivalent)")
+    if scenario is not None and scenario != "churn" \
+            and scenario not in NAMED_SCENARIOS:
+        raise ConfigError(
+            f"unknown scenario {scenario!r} (choose 'churn' or one of "
+            f"{', '.join(sorted(NAMED_SCENARIOS))})")
+    if inject_stale_entry and scenario is None:
+        raise ConfigError("--inject-stale-entry needs --scenario")
     if engine == "batch":
         supported = {"ats", "baseline", "barre", "fbarre"}
         bad = [s for s in schemes if s not in supported]
@@ -293,8 +362,18 @@ def run_validation(schemes: Sequence[str], seeds: Sequence[int],
                 f"--engine batch supports {', '.join(sorted(supported))}")
     report = ValidationReport(schemes=list(schemes), seeds=list(seeds))
     for seed in seeds:
-        workload = fuzz_workload(seed)
-        seed_runs: list[SchemeRun] = []
+        immortal_pasids = None
+        if scenario is not None:
+            plan = (churn_scenario(seed) if scenario == "churn"
+                    else named_scenario(scenario, seed))
+            workload: Workload = ScenarioWorkload.from_scenario(plan)
+            immortal_pasids = plan.immortal_pasids
+        else:
+            workload = fuzz_workload(seed)
+        # Owner-chiplet equality only holds between schemes that share a
+        # mapping policy (mgvm's chunking places pages differently from
+        # the LASP schemes by design), so cross-checks group by mapping.
+        by_mapping: dict[object, list[SchemeRun]] = {}
         frames_per_chiplet = 0
         for scheme in schemes:
             config = SCHEME_FACTORIES[scheme](seed=seed)
@@ -304,12 +383,15 @@ def run_validation(schemes: Sequence[str], seeds: Sequence[int],
                 trace_scale=trace_scale,
                 check_invariants=check_invariants,
                 inject_pec_offset=inject_pec_offset,
-                engine=engine)
+                engine=engine,
+                inject_stale_entry=inject_stale_entry)
             report.runs.append(run)
-            seed_runs.append(run)
+            by_mapping.setdefault(config.mapping, []).append(run)
             report.divergences.extend(divergences)
             if run.violation is not None:
                 report.violations.append(run.violation)
-        report.divergences.extend(
-            _cross_check(seed, seed_runs, frames_per_chiplet))
+        for seed_runs in by_mapping.values():
+            report.divergences.extend(
+                _cross_check(seed, seed_runs, frames_per_chiplet,
+                             immortal_pasids=immortal_pasids))
     return report

@@ -362,7 +362,73 @@ class InvariantChecker:
         for agent in self.sim.agents.values():
             for entry in agent.l2.entries():
                 agent.lcf.contains(entry.vpn)
+        self._sweep_dead_pasids()
         self.stats.bump("sweeps")
+
+    def _sweep_dead_pasids(self) -> None:
+        """No state of a torn-down PASID may survive its teardown.
+
+        Scans every structure that is keyed by PASID — TLB entries
+        (including the IOMMU TLB), MSHR slots, ATS/GMMU handler wait
+        queues, PEC-buffer descriptors, and the address-space registry —
+        for keys belonging to ``sim.dead_pasids``.  Cuckoo filters are
+        keyed by bare VPN and the walkers' in-flight walks die in their
+        own dead-PASID guards, so neither is scanned here.
+        """
+        sim = self.sim
+        dead = getattr(sim, "dead_pasids", None)
+        if not dead:
+            return
+        now = sim.queue.now
+        for tlb in self._tlbs:
+            for entries in tlb._sets:
+                for pasid, vpn in entries:
+                    if pasid in dead:
+                        raise InvariantViolation(
+                            f"{tlb.stats.name}: entry ({pasid}, {vpn:#x}) "
+                            f"survived PASID teardown (cycle {now})")
+        iommu_tlb = sim.iommu._tlb if sim.iommu is not None else None
+        if iommu_tlb is not None:
+            for entries in iommu_tlb._sets:
+                for pasid, vpn in entries:
+                    if pasid in dead:
+                        raise InvariantViolation(
+                            f"{iommu_tlb.stats.name}: entry ({pasid}, "
+                            f"{vpn:#x}) survived PASID teardown (cycle {now})")
+        for mshr in self._mshrs:
+            for key in mshr._slots:
+                if isinstance(key, tuple) and key and key[0] in dead:
+                    raise InvariantViolation(
+                        f"{mshr.stats.name}: slot {key} survived PASID "
+                        f"teardown (cycle {now})")
+        for handler in sim._ats_handlers.values():
+            for pasid, vpn in handler._waiting:
+                if pasid in dead:
+                    raise InvariantViolation(
+                        f"ats.{handler.chiplet_id}: waiter ({pasid}, "
+                        f"{vpn:#x}) survived PASID teardown (cycle {now})")
+        for handler in sim._gmmu_handlers:
+            for pasid, vpn in handler._waiting:
+                if pasid in dead:
+                    raise InvariantViolation(
+                        f"gmmu-handler.{handler.chiplet_id}: waiter "
+                        f"({pasid}, {vpn:#x}) survived PASID teardown "
+                        f"(cycle {now})")
+        buffers = [("driver", sim.driver.pec_buffer)]
+        buffers += [(f"agent.{cid}", agent.pec.pec_buffer)
+                    for cid, agent in sim.agents.items()]
+        for label, buffer in buffers:
+            for desc in buffer._entries:
+                if desc.pasid in dead:
+                    raise InvariantViolation(
+                        f"pec buffer [{label}]: descriptor for dead PASID "
+                        f"{desc.pasid} survived teardown (cycle {now})")
+        for pasid in dead:
+            if pasid in sim.spaces:
+                raise InvariantViolation(
+                    f"page table of dead PASID {pasid} still registered "
+                    f"(cycle {now})")
+        self.stats.bump("teardown_sweeps")
 
     def verify_end_of_run(self) -> None:
         """Drained-machine checks: run by ``McmGpuSimulator.run``."""
@@ -373,8 +439,11 @@ class InvariantChecker:
                     f"{mshr.stats.name}: {mshr.outstanding()} misses still "
                     f"outstanding after the run drained")
         tracer = self.sim.tracer
+        dead = getattr(self.sim, "dead_pasids", frozenset())
         if isinstance(tracer, RecordingTracer):
             for span in tracer.spans:
+                if span.pasid in dead:
+                    continue  # teardown legitimately abandons open spans
                 if span.end is None:
                     raise InvariantViolation(
                         f"span {span.span_id} (pasid {span.pasid}, vpn "

@@ -26,6 +26,7 @@ from repro.common.addresses import PAGE_SIZE_4K
 from repro.common.config import SimConfig
 from repro.common.errors import ConfigError
 from repro.gpu.mcm import allocate_workloads, build_access_trace, build_driver
+from repro.scenarios.scenario import apply_aging
 from repro.workloads.base import Workload
 
 
@@ -95,22 +96,45 @@ def reference_translation(config: SimConfig, workloads: Sequence[Workload],
                           "migration (PTEs change mid-run)")
     driver = build_driver(config)
     page_scale = config.page_size // PAGE_SIZE_4K
-    allocate_workloads(driver, workloads, page_scale)
-    per_chiplet_ctas = build_access_trace(config, workloads, driver,
-                                          page_scale, trace_scale)
+    scenario = (getattr(workloads[0], "scenario", None)
+                if len(workloads) == 1 else None)
     accesses: list[RefAccess] = []
     translations: dict[tuple[int, int], int] = {}
-    order = 0
-    for chiplet, ctas in enumerate(per_chiplet_ctas):
-        for cta, trace in enumerate(ctas):
-            for index, acc in enumerate(trace):
-                key = (acc.pasid, acc.vpn)
-                pfn = translations.get(key)
-                if pfn is None:
-                    pfn = driver.spaces.get(acc.pasid).walk(acc.vpn).global_pfn
-                    translations[key] = pfn
-                accesses.append(RefAccess(
-                    order=order, chiplet=chiplet, cta=cta, index=index,
-                    pasid=acc.pasid, vpn=acc.vpn, pfn=pfn))
-                order += 1
+
+    def record(per_chiplet_ctas) -> None:
+        order = len(accesses)
+        for chiplet, ctas in enumerate(per_chiplet_ctas):
+            for cta, trace in enumerate(ctas):
+                for index, acc in enumerate(trace):
+                    key = (acc.pasid, acc.vpn)
+                    pfn = translations.get(key)
+                    if pfn is None:
+                        pfn = driver.spaces.get(
+                            acc.pasid).walk(acc.vpn).global_pfn
+                        translations[key] = pfn
+                    accesses.append(RefAccess(
+                        order=order, chiplet=chiplet, cta=cta, index=index,
+                        pasid=acc.pasid, vpn=acc.vpn, pfn=pfn))
+                    order += 1
+
+    if scenario is not None:
+        # Replay the canonical lifecycle order the simulator schedules.
+        # Only lifecycle events mutate driver state (translation never
+        # does, and the guards above exclude paging/migration), so each
+        # tenant's ground truth is fixed over its whole lifetime and the
+        # free-frame pool evolves identically to the timed run.
+        apply_aging(driver.allocators, scenario)
+        for event in scenario.lifecycle_events():
+            if event.kind == "depart":
+                driver.destroy_pasid(event.tenant.pasid)
+                continue
+            workload = event.tenant.workload
+            allocate_workloads(driver, [workload], page_scale)
+            record(build_access_trace(config, [workload], driver,
+                                      page_scale, trace_scale))
+        return ReferenceResult(accesses, translations)
+
+    allocate_workloads(driver, workloads, page_scale)
+    record(build_access_trace(config, workloads, driver, page_scale,
+                              trace_scale))
     return ReferenceResult(accesses, translations)
