@@ -181,6 +181,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "in-flight jobs; cancel stops them at the "
                             "next point boundary (default drain)")
 
+    worker = sub.add_parser(
+        "worker",
+        help="drain distributed sweep groups from a shared cache queue")
+    worker.add_argument("--cache", default=None, metavar="DIR",
+                        help="shared cache directory to serve (default: "
+                             "REPRO_CACHE_DIR)")
+    worker.add_argument("--id", default=None,
+                        help="worker identity in claims/markers "
+                             "(default: <host>:<pid>)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between queue scans when idle "
+                             "(default 0.5)")
+    worker.add_argument("--heartbeat", type=float, default=2.0,
+                        help="claim heartbeat period in seconds (default "
+                             "2; must be well under REPRO_CLAIM_STALE)")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many seconds with nothing "
+                             "claimable (default: run until killed)")
+    worker.add_argument("--once", action="store_true",
+                        help="exit after the first pass that finds "
+                             "nothing claimable")
+
     report = sub.add_parser(
         "report", help="stitch results/ into results/SUMMARY.md")
     report.add_argument("--results", default="results",
@@ -384,6 +406,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          on_shutdown=args.on_shutdown)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.distributed import run_worker
+
+    def progress(stats: dict) -> None:
+        print(f"[worker {stats['worker']}] {stats['groups']} groups, "
+              f"{stats['points']} points "
+              f"({stats['simulated']} simulated, "
+              f"{stats['errors']} errors)", flush=True)
+
+    stats = run_worker(worker_id=args.id, cache_dir=args.cache,
+                       poll=args.poll, heartbeat=args.heartbeat,
+                       max_idle=args.max_idle, once=args.once,
+                       progress=progress)
+    print(f"[worker {stats['worker']}] done: {stats['groups']} groups, "
+          f"{stats['points']} points ({stats['simulated']} simulated, "
+          f"{stats['errors']} errors)")
+    return 1 if stats["errors"] else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.summary import write_summary
     path = write_summary(args.results)
@@ -448,7 +489,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"run": _cmd_run, "suite": _cmd_suite,
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
                 "trace": _cmd_trace, "validate": _cmd_validate,
-                "serve": _cmd_serve, "report": _cmd_report,
+                "serve": _cmd_serve, "worker": _cmd_worker,
+                "report": _cmd_report,
                 "explore": _cmd_explore, "list": _cmd_list}
     return handlers[args.command](args)
 

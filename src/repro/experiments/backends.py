@@ -1,0 +1,345 @@
+"""Sweep execution backends: how a planned batch of misses actually runs.
+
+:func:`repro.experiments.sweep.sweep` owns everything scheduler-independent
+— cache dedupe, the cost-model plan, stats, events, metrics — and hands the
+planned misses to a :class:`SweepBackend`.  Four implementations:
+
+* :class:`SerialBackend` — in-process, no worker pool.  Also the degrade
+  target every *local pool* backend falls back to when the effective
+  width is one worker (a one-process pool is strictly worse than inline).
+* :class:`FlatBackend` — the legacy ``ProcessPoolExecutor`` fan-out with
+  full payloads pickled back; kept as the A/B comparison baseline.
+* :class:`AffinityBackend` — per-worker queues routed by CTA-trace
+  affinity group, work stealing, and the thin cache-key wire.
+* :class:`~repro.experiments.distributed.DistributedBackend` — a
+  multi-host coordinator publishing affinity groups to a filesystem claim
+  queue that ``repro worker`` processes (local or on other machines
+  sharing the cache directory) drain.  Registered lazily below so the
+  distributed machinery is only imported when asked for.
+
+All four produce bit-identical results and cache files (asserted by
+``tests/test_sweep.py::TestSchedulerDeterminism`` against each other and
+the golden-run digests): a backend chooses *where* ``run_point`` executes,
+never *what* it computes.
+
+The contract (:meth:`SweepBackend.run`) mutates the caller's ``results``
+dict and :class:`~repro.experiments.sweep.SweepStats` in place, reports
+through the shared progress reporter, honors the cooperative ``cancel``
+event on point boundaries, and forwards structured run events.  Every
+backend must leave ``stats.steals`` an explicit integer — 0 for backends
+with no stealing (serial, flat) — so the widened affinity wire tuple and
+the distributed reclaim counter cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from queue import Empty
+
+from repro.experiments import runner
+from repro.experiments.sweep import (
+    _STEAL_POLL_S,
+    PlannedPoint,
+    SweepCancelled,
+    SweepStats,
+    _emit,
+    _pool_width,
+    _Progress,
+    _run_inline,
+)
+from repro.gpu import mcm
+
+
+class SweepBackend:
+    """One strategy for executing a planned list of cache misses."""
+
+    #: Registry name (``REPRO_SCHEDULER`` / ``scheduler=`` value).
+    name: str = ""
+    #: Local pool backends degrade to the serial inline path when the
+    #: effective width is one worker or there is a single miss.  The
+    #: distributed backend keeps its machinery even then: remote workers
+    #: may add capacity the local core count knows nothing about.
+    inline_when_narrow: bool = True
+
+    def width(self, jobs: int, misses: int) -> int:
+        """Effective worker count for ``jobs`` requested over ``misses``."""
+        return _pool_width(jobs, misses)
+
+    def run(self, plan: list[PlannedPoint], workers: int,
+            reporter: _Progress, results: dict, stats: SweepStats,
+            cancel=None, events=None) -> None:
+        """Execute every planned point, mutating ``results``/``stats``."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Serial (in-process, also the narrow-pool degrade target)
+# --------------------------------------------------------------------------
+
+class SerialBackend(SweepBackend):
+    """Run every miss inline, in plan order (cost-model longest-first)."""
+
+    name = "serial"
+
+    def width(self, jobs: int, misses: int) -> int:
+        return 1
+
+    def run(self, plan, workers, reporter, results, stats,
+            cancel=None, events=None) -> None:
+        stats.steals = 0          # explicit: nothing to steal from inline
+        memo = mcm.TRACE_MEMO
+        reporter.update(stats.cached, running=1)
+        done = 0
+        for pp in plan:
+            if cancel is not None and cancel.is_set():
+                raise SweepCancelled(
+                    f"sweep cancelled with {len(plan) - done} "
+                    f"misses outstanding")
+            _emit(events, "point_start",
+                  digest=runner.point_digest(pp.key),
+                  app=pp.point.abbr, worker=0)
+            hits, memo_misses = memo.hits, memo.misses
+            t0 = time.perf_counter()
+            results[pp.key] = _run_inline(pp.point)
+            seconds = time.perf_counter() - t0
+            stats.point_seconds[pp.key] = seconds
+            stats.memo_hits += memo.hits - hits
+            stats.memo_misses += memo.misses - memo_misses
+            done += 1
+            _emit(events, "point_finish",
+                  digest=runner.point_digest(pp.key),
+                  app=pp.point.abbr, seconds=round(seconds, 4),
+                  stolen=False, worker=0)
+            reporter.update(stats.cached + done,
+                            running=int(done < len(plan)))
+
+
+# --------------------------------------------------------------------------
+# Flat pool (legacy ProcessPoolExecutor fan-out)
+# --------------------------------------------------------------------------
+
+def _simulate_point(point) -> tuple[dict, float, int, int]:
+    """Flat-pool worker entry: simulate and ship the full payload back.
+
+    Returns the serialized payload (plus timing and trace-memo deltas)
+    rather than the object so the parent sees exactly what a cache hit
+    would see, cache or no cache.
+    """
+    memo = mcm.TRACE_MEMO
+    hits, misses = memo.hits, memo.misses
+    start = time.perf_counter()
+    payload = runner._serialize(_run_inline(point))
+    return (payload, time.perf_counter() - start,
+            memo.hits - hits, memo.misses - misses)
+
+
+class FlatBackend(SweepBackend):
+    """The legacy ``ProcessPoolExecutor`` fan-out, full payloads back."""
+
+    name = "flat"
+
+    def run(self, plan, workers, reporter, results, stats,
+            cancel=None, events=None) -> None:
+        stats.steals = 0          # explicit: the flat pool never steals
+        cached = stats.cached
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for pp in plan:
+                futures[pool.submit(_simulate_point, pp.point)] = pp
+                _emit(events, "point_start",
+                      digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                      worker=pp.worker)
+            reporter.update(cached, running=len(futures))
+            done = 0
+            for future in as_completed(futures):
+                if cancel is not None and cancel.is_set():
+                    for pending_future in futures:
+                        pending_future.cancel()
+                    raise SweepCancelled(
+                        f"sweep cancelled with {len(plan) - done} misses "
+                        f"outstanding")
+                pp = futures[future]
+                payload, seconds, memo_hits, memo_misses = future.result()
+                results[pp.key] = runner._deserialize(payload)
+                stats.point_seconds[pp.key] = seconds
+                stats.memo_hits += memo_hits
+                stats.memo_misses += memo_misses
+                done += 1
+                _emit(events, "point_finish",
+                      digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                      seconds=round(seconds, 4), stolen=False,
+                      worker=pp.worker)
+                reporter.update(cached + done, running=len(futures) - done)
+
+
+# --------------------------------------------------------------------------
+# Affinity (per-worker queues + work stealing + thin wire)
+# --------------------------------------------------------------------------
+
+def _affinity_worker(worker_id: int, inboxes: list, result_q,
+                     stop) -> None:
+    """Worker loop: drain the own queue, then steal from the others.
+
+    Each inbox item is ``(index, point)``; each result is ``(index,
+    payload_or_None, seconds, memo_hits, memo_misses, stolen,
+    error_or_None)`` — ``stolen`` records whether the point came from a
+    peer's queue, which the parent aggregates into ``SweepStats.steals``
+    and the run-event log.  The worker publishes through the runner's
+    cache (``_run_inline`` → ``run_point`` → atomic write) and ships
+    ``payload=None`` when the cache file landed — the parent loads it
+    from disk — falling back to the full payload under
+    ``REPRO_NO_CACHE`` or an unwritable cache.
+    """
+    order = [worker_id] + [i for i in range(len(inboxes)) if i != worker_id]
+    memo = mcm.TRACE_MEMO
+    while not stop.is_set():
+        item = None
+        stolen = False
+        for source in order:
+            try:
+                item = inboxes[source].get_nowait()
+                stolen = source != worker_id
+                break
+            except Empty:
+                continue
+        if item is None:
+            time.sleep(_STEAL_POLL_S)
+            continue
+        index, point = item
+        hits, misses = memo.hits, memo.misses
+        start = time.perf_counter()
+        try:
+            result = _run_inline(point)
+            seconds = time.perf_counter() - start
+            path = runner.point_path(point.config, point.app, point.scale,
+                                     point.tag)
+            payload = None
+            if path is None or not path.exists():
+                payload = runner._serialize(result)
+            result_q.put((index, payload, seconds,
+                          memo.hits - hits, memo.misses - misses, stolen,
+                          None))
+        except Exception:
+            result_q.put((index, None, 0.0, 0, 0, stolen,
+                          traceback.format_exc()))
+
+
+def _drain(q) -> None:
+    try:
+        while True:
+            q.get_nowait()
+    except (Empty, OSError):
+        pass
+
+
+class AffinityBackend(SweepBackend):
+    """Per-worker queues routed by affinity group, with work stealing."""
+
+    name = "affinity"
+
+    def run(self, plan, workers, reporter, results, stats,
+            cancel=None, events=None) -> None:
+        ctx = multiprocessing.get_context()
+        inboxes = [ctx.Queue() for _ in range(workers)]
+        result_q = ctx.Queue()
+        stop = ctx.Event()
+        for index, pp in enumerate(plan):
+            inboxes[pp.worker].put((index, pp.point))
+            _emit(events, "point_start",
+                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                  worker=pp.worker)
+        procs = [ctx.Process(target=_affinity_worker,
+                             args=(w, inboxes, result_q, stop), daemon=True)
+                 for w in range(workers)]
+        for proc in procs:
+            proc.start()
+        cached = stats.cached
+        pending = len(plan)
+        reporter.update(cached, running=min(workers, pending))
+        try:
+            while pending:
+                if cancel is not None and cancel.is_set():
+                    # The finally block below stops the workers; each
+                    # finishes (and cache-publishes) its in-flight point
+                    # first, so a resume re-runs only the points never
+                    # started.
+                    raise SweepCancelled(
+                        f"sweep cancelled with {pending} misses outstanding")
+                try:
+                    (index, payload, seconds, memo_hits, memo_misses, stolen,
+                     error) = result_q.get(timeout=0.25)
+                except Empty:
+                    crashed = [p for p in procs
+                               if p.exitcode not in (None, 0)]
+                    if crashed:
+                        raise RuntimeError(
+                            f"sweep worker crashed (exitcode "
+                            f"{crashed[0].exitcode}) with {pending} "
+                            f"points left")
+                    continue
+                pp = plan[index]
+                if error is not None:
+                    raise RuntimeError(
+                        f"sweep worker failed on {pp.label()}:\n{error}")
+                if payload is not None:
+                    results[pp.key] = runner._deserialize(payload)
+                else:
+                    loaded = runner.cached_result(
+                        pp.point.config, pp.point.app, pp.point.scale,
+                        pp.point.tag)
+                    if loaded is None:
+                        raise RuntimeError(
+                            f"worker published {pp.label()} but the cache "
+                            f"has no result (cache directory removed "
+                            f"mid-sweep?)")
+                    results[pp.key] = loaded
+                stats.point_seconds[pp.key] = seconds
+                stats.memo_hits += memo_hits
+                stats.memo_misses += memo_misses
+                stats.steals += int(stolen)
+                pending -= 1
+                _emit(events, "point_finish",
+                      digest=runner.point_digest(pp.key), app=pp.point.abbr,
+                      seconds=round(seconds, 4), stolen=bool(stolen),
+                      worker=pp.worker)
+                reporter.update(cached + len(plan) - pending,
+                                running=min(workers, pending))
+        finally:
+            stop.set()
+            for proc in procs:
+                proc.join(timeout=10)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            for q in [*inboxes, result_q]:
+                _drain(q)
+                q.close()
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+_BACKENDS: dict[str, SweepBackend] = {
+    backend.name: backend
+    for backend in (AffinityBackend(), FlatBackend(), SerialBackend())
+}
+
+
+def get_backend(name: str) -> SweepBackend:
+    """The backend registered under ``name`` (see ``sweep.SCHEDULERS``).
+
+    The distributed backend is imported on first use so the claim-queue
+    machinery costs nothing for purely local sweeps.
+    """
+    if name == "distributed" and name not in _BACKENDS:
+        from repro.experiments.distributed import DistributedBackend
+        _BACKENDS[name] = DistributedBackend()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}") from None

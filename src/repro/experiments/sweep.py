@@ -4,7 +4,7 @@ Every paper figure reduces to a set of independent (config, app, scale)
 simulation points — embarrassingly parallel work that the serial harness
 paid for one core at a time.  :func:`sweep` takes an iterable of
 :class:`SweepPoint`, deduplicates them against the on-disk result cache,
-and schedules the misses across worker processes.  Three schedulers
+and hands the misses to a :class:`~repro.experiments.backends.SweepBackend`
 (``REPRO_SCHEDULER`` or the ``scheduler`` argument):
 
 * **affinity** (default) — per-worker queues: points sharing an
@@ -18,8 +18,15 @@ and schedules the misses across worker processes.  Three schedulers
   pickled back; kept as the A/B comparison baseline and fallback.
 * **serial** — in-process, no worker pool (also used automatically for
   ``jobs=1`` or a single miss).
+* **distributed** — a coordinator that publishes affinity groups to a
+  filesystem claim queue under the shared result cache; ``repro worker``
+  processes — spawned locally and/or launched on any host that mounts
+  the same cache directory — claim groups, fill the cache, and
+  heartbeat, so aggregate cores across hosts become the only limit
+  (see :mod:`repro.experiments.distributed` and docs/performance.md,
+  "Distributed sweeps").
 
-All three produce bit-identical results (same seeded RNG from
+All four produce bit-identical results (same seeded RNG from
 ``SimConfig.seed``, same ``SIM_VERSION`` cache keying, same atomic cache
 files — asserted by ``tests/test_sweep.py`` against the golden-run
 digests).
@@ -39,26 +46,22 @@ discovered up front and submitted as one batch (see
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import statistics
 import sys
 import threading
 import time
-import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from queue import Empty
 
 from repro.common import metrics
 from repro.common.config import SimConfig
 from repro.experiments import runner
-from repro.gpu import mcm
 from repro.gpu.mcm import SimResult
 from repro.workloads.base import Workload
 
-#: Recognized scheduler names (``REPRO_SCHEDULER`` / ``scheduler=``).
-SCHEDULERS = ("affinity", "flat", "serial")
+#: Recognized scheduler names (``REPRO_SCHEDULER`` / ``scheduler=``) —
+#: each resolves to a :class:`~repro.experiments.backends.SweepBackend`.
+SCHEDULERS = ("affinity", "flat", "serial", "distributed")
 
 #: Per-point cost guess (seconds) when the sidecar has no data at all —
 #: only the *relative* order matters, so any constant works.
@@ -149,9 +152,13 @@ class SweepStats:
     elapsed: float = 0.0    #: wall-clock seconds
     memo_hits: int = 0      #: CTA-trace memo hits across all workers
     memo_misses: int = 0    #: CTA-trace memo misses across all workers
-    steals: int = 0         #: points an idle worker drained from a peer queue
+    steals: int = 0         #: stolen points (affinity) / reclaimed groups (distributed)
     #: Measured wall-time of every simulated miss, by cache key.
     point_seconds: dict[str, float] = field(default_factory=dict)
+    #: Host a miss was simulated on, by cache key — only filled by the
+    #: distributed backend for points that ran on a worker (which banks
+    #: its own timings); local runs are implicitly this host.
+    point_hosts: dict[str, str] = field(default_factory=dict)
 
     def describe(self, dry_run: bool = False) -> str:
         verb = "to simulate (dry run)" if dry_run else "simulated"
@@ -312,13 +319,22 @@ class _Progress:
         self._drawn = False
 
     def snapshot(self, done: int, running: int) -> dict:
-        """Point-in-time progress: done/cached/running counts plus ETA."""
-        simulated = done - self.cached
-        misses_left = self.total - done
-        eta = None
-        if simulated > 0 and misses_left > 0:
+        """Point-in-time progress: done/cached/running counts plus ETA.
+
+        No outstanding misses — an all-cached sweep's very first update,
+        or any run's final one — is an honest ETA of 0, never ``inf`` or
+        a division by zero; with misses left but none finished yet there
+        is no rate to extrapolate from and the ETA stays ``None``.
+        """
+        simulated = max(0, done - self.cached)
+        misses_left = max(0, self.total - done)
+        if misses_left == 0:
+            eta = 0.0
+        elif simulated > 0:
             rate = (time.perf_counter() - self.start) / simulated
             eta = rate * misses_left / max(1, running)
+        else:
+            eta = None
         return {"total": self.total, "cached": self.cached, "done": done,
                 "running": running, "eta_seconds": eta,
                 "elapsed_seconds": time.perf_counter() - self.start}
@@ -341,194 +357,6 @@ class _Progress:
         if self._drawn:
             sys.stderr.write("\n")
             sys.stderr.flush()
-
-
-# --------------------------------------------------------------------------
-# Flat scheduler (legacy ProcessPoolExecutor fan-out)
-# --------------------------------------------------------------------------
-
-def _simulate_point(point: SweepPoint) -> tuple[dict, float, int, int]:
-    """Flat-pool worker entry: simulate and ship the full payload back.
-
-    Returns the serialized payload (plus timing and trace-memo deltas)
-    rather than the object so the parent sees exactly what a cache hit
-    would see, cache or no cache.
-    """
-    memo = mcm.TRACE_MEMO
-    hits, misses = memo.hits, memo.misses
-    start = time.perf_counter()
-    payload = runner._serialize(_run_inline(point))
-    return (payload, time.perf_counter() - start,
-            memo.hits - hits, memo.misses - misses)
-
-
-def _run_flat(plan: list[PlannedPoint], workers: int, reporter: _Progress,
-              results: dict, stats: SweepStats, cancel=None,
-              events=None) -> None:
-    cached = stats.cached
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {}
-        for pp in plan:
-            futures[pool.submit(_simulate_point, pp.point)] = pp
-            _emit(events, "point_start",
-                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
-                  worker=pp.worker)
-        reporter.update(cached, running=len(futures))
-        done = 0
-        for future in as_completed(futures):
-            if cancel is not None and cancel.is_set():
-                for pending_future in futures:
-                    pending_future.cancel()
-                raise SweepCancelled(
-                    f"sweep cancelled with {len(plan) - done} misses "
-                    f"outstanding")
-            pp = futures[future]
-            payload, seconds, memo_hits, memo_misses = future.result()
-            results[pp.key] = runner._deserialize(payload)
-            stats.point_seconds[pp.key] = seconds
-            stats.memo_hits += memo_hits
-            stats.memo_misses += memo_misses
-            done += 1
-            _emit(events, "point_finish",
-                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
-                  seconds=round(seconds, 4), stolen=False, worker=pp.worker)
-            reporter.update(cached + done, running=len(futures) - done)
-
-
-# --------------------------------------------------------------------------
-# Affinity scheduler (per-worker queues + work stealing + thin wire)
-# --------------------------------------------------------------------------
-
-def _affinity_worker(worker_id: int, inboxes: list, result_q,
-                     stop) -> None:
-    """Worker loop: drain the own queue, then steal from the others.
-
-    Each inbox item is ``(index, point)``; each result is ``(index,
-    payload_or_None, seconds, memo_hits, memo_misses, stolen,
-    error_or_None)`` — ``stolen`` records whether the point came from a
-    peer's queue, which the parent aggregates into ``SweepStats.steals``
-    and the run-event log.  The worker publishes through the runner's
-    cache (``_run_inline`` → ``run_point`` → atomic write) and ships
-    ``payload=None`` when the cache file landed — the parent loads it
-    from disk — falling back to the full payload under
-    ``REPRO_NO_CACHE`` or an unwritable cache.
-    """
-    order = [worker_id] + [i for i in range(len(inboxes)) if i != worker_id]
-    memo = mcm.TRACE_MEMO
-    while not stop.is_set():
-        item = None
-        stolen = False
-        for source in order:
-            try:
-                item = inboxes[source].get_nowait()
-                stolen = source != worker_id
-                break
-            except Empty:
-                continue
-        if item is None:
-            time.sleep(_STEAL_POLL_S)
-            continue
-        index, point = item
-        hits, misses = memo.hits, memo.misses
-        start = time.perf_counter()
-        try:
-            result = _run_inline(point)
-            seconds = time.perf_counter() - start
-            path = runner.point_path(point.config, point.app, point.scale,
-                                     point.tag)
-            payload = None
-            if path is None or not path.exists():
-                payload = runner._serialize(result)
-            result_q.put((index, payload, seconds,
-                          memo.hits - hits, memo.misses - misses, stolen,
-                          None))
-        except Exception:
-            result_q.put((index, None, 0.0, 0, 0, stolen,
-                          traceback.format_exc()))
-
-
-def _drain(q) -> None:
-    try:
-        while True:
-            q.get_nowait()
-    except (Empty, OSError):
-        pass
-
-
-def _run_affinity(plan: list[PlannedPoint], workers: int, reporter: _Progress,
-                  results: dict, stats: SweepStats, cancel=None,
-                  events=None) -> None:
-    ctx = multiprocessing.get_context()
-    inboxes = [ctx.Queue() for _ in range(workers)]
-    result_q = ctx.Queue()
-    stop = ctx.Event()
-    for index, pp in enumerate(plan):
-        inboxes[pp.worker].put((index, pp.point))
-        _emit(events, "point_start",
-              digest=runner.point_digest(pp.key), app=pp.point.abbr,
-              worker=pp.worker)
-    procs = [ctx.Process(target=_affinity_worker,
-                         args=(w, inboxes, result_q, stop), daemon=True)
-             for w in range(workers)]
-    for proc in procs:
-        proc.start()
-    cached = stats.cached
-    pending = len(plan)
-    reporter.update(cached, running=min(workers, pending))
-    try:
-        while pending:
-            if cancel is not None and cancel.is_set():
-                # The finally block below stops the workers; each finishes
-                # (and cache-publishes) its in-flight point first, so a
-                # resume re-runs only the points never started.
-                raise SweepCancelled(
-                    f"sweep cancelled with {pending} misses outstanding")
-            try:
-                (index, payload, seconds, memo_hits, memo_misses, stolen,
-                 error) = result_q.get(timeout=0.25)
-            except Empty:
-                crashed = [p for p in procs if p.exitcode not in (None, 0)]
-                if crashed:
-                    raise RuntimeError(
-                        f"sweep worker crashed (exitcode "
-                        f"{crashed[0].exitcode}) with {pending} points left")
-                continue
-            pp = plan[index]
-            if error is not None:
-                raise RuntimeError(
-                    f"sweep worker failed on {pp.label()}:\n{error}")
-            if payload is not None:
-                results[pp.key] = runner._deserialize(payload)
-            else:
-                loaded = runner.cached_result(pp.point.config, pp.point.app,
-                                              pp.point.scale, pp.point.tag)
-                if loaded is None:
-                    raise RuntimeError(
-                        f"worker published {pp.label()} but the cache has "
-                        f"no result (cache directory removed mid-sweep?)")
-                results[pp.key] = loaded
-            stats.point_seconds[pp.key] = seconds
-            stats.memo_hits += memo_hits
-            stats.memo_misses += memo_misses
-            stats.steals += int(stolen)
-            pending -= 1
-            _emit(events, "point_finish",
-                  digest=runner.point_digest(pp.key), app=pp.point.abbr,
-                  seconds=round(seconds, 4), stolen=bool(stolen),
-                  worker=pp.worker)
-            reporter.update(cached + len(plan) - pending,
-                            running=min(workers, pending))
-    finally:
-        stop.set()
-        for proc in procs:
-            proc.join(timeout=10)
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5)
-        for q in [*inboxes, result_q]:
-            _drain(q)
-            q.close()
 
 
 # --------------------------------------------------------------------------
@@ -607,47 +435,24 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
             results[key] = None
     elif misses:
         stats.simulated = len(misses)
-        workers = _pool_width(jobs, len(misses))
+        # Imported here, not at module top: backends.py imports this
+        # module's plan/stats/progress machinery at import time.
+        from repro.experiments import backends as _backends
+        backend = _backends.get_backend(scheduler)
+        workers = backend.width(jobs, len(misses))
+        # A one-worker pool is strictly worse than running inline (same
+        # serial order, plus process spawn and result IPC) — so the core
+        # clamp on a small machine degrades local pool backends to the
+        # serial path.  The distributed backend opts out: remote workers
+        # may add capacity the local core count knows nothing about.
+        if backend.inline_when_narrow and (workers == 1 or len(misses) == 1):
+            backend = _backends.get_backend("serial")
+            workers = 1
+        stats.jobs = max(1, workers)
         try:
-            # A one-worker pool is strictly worse than running inline (same
-            # serial order, plus process spawn and result IPC) — so the core
-            # clamp on a small machine degrades to the serial path.
-            if scheduler == "serial" or workers == 1 or len(misses) == 1:
-                plan = plan_misses(misses, workers=1)
-                memo = mcm.TRACE_MEMO
-                reporter.update(cached, running=1)
-                done = 0
-                for pp in plan:
-                    if cancel is not None and cancel.is_set():
-                        raise SweepCancelled(
-                            f"sweep cancelled with {len(plan) - done} "
-                            f"misses outstanding")
-                    _emit(events, "point_start",
-                          digest=runner.point_digest(pp.key),
-                          app=pp.point.abbr, worker=0)
-                    hits, memo_misses = memo.hits, memo.misses
-                    t0 = time.perf_counter()
-                    results[pp.key] = _run_inline(pp.point)
-                    seconds = time.perf_counter() - t0
-                    stats.point_seconds[pp.key] = seconds
-                    stats.memo_hits += memo.hits - hits
-                    stats.memo_misses += memo.misses - memo_misses
-                    done += 1
-                    _emit(events, "point_finish",
-                          digest=runner.point_digest(pp.key),
-                          app=pp.point.abbr, seconds=round(seconds, 4),
-                          stolen=False, worker=0)
-                    reporter.update(cached + done,
-                                    running=int(done < len(plan)))
-            else:
-                stats.jobs = workers
-                plan = plan_misses(misses, workers)
-                if scheduler == "flat":
-                    _run_flat(plan, workers, reporter, results, stats,
-                              cancel=cancel, events=events)
-                else:
-                    _run_affinity(plan, workers, reporter, results, stats,
-                                  cancel=cancel, events=events)
+            plan = plan_misses(misses, stats.jobs)
+            backend.run(plan, workers, reporter, results, stats,
+                        cancel=cancel, events=events)
         except SweepCancelled as exc:
             _emit(events, "sweep_cancelled", error=str(exc))
             metrics.METRICS.counter(
@@ -657,9 +462,16 @@ def sweep(points, jobs: int | None = None, progress: bool | None = None,
         finally:
             # A cancelled run still banks the wall-times it measured —
             # the cost model should learn from every completed point.
+            # Points a *remote* worker simulated (stats.point_hosts) are
+            # skipped: that worker already recorded them under its own
+            # host id, and re-recording here would misattribute its
+            # measurement to this machine.
+            this_host = runner.host_id()
             runner.record_timings(
                 (pp.key, pp.point.abbr, stats.point_seconds[pp.key])
-                for pp in plan if pp.key in stats.point_seconds)
+                for pp in plan
+                if pp.key in stats.point_seconds
+                and stats.point_hosts.get(pp.key, this_host) == this_host)
     reporter.finish()
     stats.elapsed = time.perf_counter() - start
     if observer is not None:

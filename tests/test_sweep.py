@@ -222,7 +222,7 @@ def _scheme_points() -> list[SweepPoint]:
 
 class TestSchedulerDeterminism:
     def test_all_schedulers_bit_identical(self, tmp_path, monkeypatch):
-        """Serial, flat, and affinity produce the same payloads and files."""
+        """Every registered scheduler produces the same payloads and files."""
         monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
         payloads, files = {}, {}
         for scheduler in SCHEDULERS:
@@ -235,9 +235,11 @@ class TestSchedulerDeterminism:
                                    for r in out.results]
             files[scheduler] = {p.name: p.read_bytes()
                                 for p in cache.glob("*.json")}
-        assert payloads["serial"] == payloads["flat"] == payloads["affinity"]
-        assert files["serial"] == files["flat"] == files["affinity"]
-        assert len(files["serial"]) == 4
+        reference = SCHEDULERS[0]
+        assert len(files[reference]) == 4
+        for scheduler in SCHEDULERS[1:]:
+            assert payloads[scheduler] == payloads[reference], scheduler
+            assert files[scheduler] == files[reference], scheduler
 
     def test_affinity_sweep_matches_golden_digests(self, cache):
         """Cache files written through the worker pool are byte-for-byte the
@@ -292,18 +294,85 @@ class TestSweepStats:
         assert _pool_width(jobs=8, misses=8) == 8
         assert _pool_width(jobs=8, misses=3) == 3
 
+    def test_steals_explicitly_zero_for_non_stealing_schedulers(
+            self, tmp_path, monkeypatch):
+        """serial/flat report steals=0 as a checked invariant, not by
+        accident of initialization — so the widened affinity wire tuple
+        (or the distributed reclaim counter) can't silently drift."""
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        # Force a real pool for flat even on a one-core machine.
+        monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+        for scheduler in ("serial", "flat"):
+            cache = tmp_path / scheduler
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+            out = sweep(_scheme_points(), jobs=2, progress=False,
+                        scheduler=scheduler)
+            assert out.stats.steals == 0, scheduler
+            assert "stolen" not in out.stats.describe()
+
+    def test_steals_is_an_int_for_every_scheduler(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        for scheduler in SCHEDULERS:
+            cache = tmp_path / scheduler
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+            out = sweep([SweepPoint(configs.baseline(), "gemv", SCALE)],
+                        jobs=2, progress=False, scheduler=scheduler)
+            assert isinstance(out.stats.steals, int), scheduler
+            assert out.stats.steals >= 0, scheduler
+
 
 class TestCostModel:
-    def test_timings_sidecar_round_trip_and_merge(self, cache):
+    def test_timings_sidecar_round_trip_and_merge(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_HOST_ID", "vm-a")
         record_timings([("key-a", "gemv", 1.5), ("key-b", "fft", 3.0)])
-        record_timings([("key-a", "gemv", 2.0)])   # merge: last write wins
+        record_timings([("key-a", "gemv", 2.0)])   # same host: last wins
         timings = load_timings()
-        assert timings[point_digest("key-a")] == {"app": "gemv",
-                                                  "seconds": 2.0}
-        assert timings[point_digest("key-b")] == {"app": "fft",
-                                                  "seconds": 3.0}
+        assert timings[point_digest("key-a")] == {
+            "app": "gemv", "seconds": 2.0, "hosts": {"vm-a": 2.0}}
+        assert timings[point_digest("key-b")] == {
+            "app": "fft", "seconds": 3.0, "hosts": {"vm-a": 3.0}}
         # The sidecar lives under meta/ and must not count as a cache file.
         assert not list(cache.glob("*.json"))
+
+    def test_timings_keep_per_host_measurements_and_median(self, cache):
+        """Heterogeneous fleet: each host's cost survives, and the cost
+        model plans against the median across hosts."""
+        record_timings([("key-a", "gemv", 1.0)], host="fast-box")
+        record_timings([("key-a", "gemv", 9.0)], host="slow-box")
+        record_timings([("key-a", "gemv", 3.0)], host="mid-box")
+        entry = load_timings()[point_digest("key-a")]
+        assert entry["hosts"] == {"fast-box": 1.0, "slow-box": 9.0,
+                                  "mid-box": 3.0}
+        assert entry["seconds"] == 3.0
+        # A host re-measuring replaces only its own entry.
+        record_timings([("key-a", "gemv", 5.0)], host="fast-box")
+        entry = load_timings()[point_digest("key-a")]
+        assert entry["hosts"]["fast-box"] == 5.0
+        assert entry["seconds"] == 5.0
+
+    def test_corrupt_timings_sidecar_warns_once_and_recovers(self, cache):
+        """A torn write (crash mid-replace, disk-full half-file) degrades
+        to unordered scheduling with a warning — and the next completed
+        sweep rewrites a good sidecar."""
+        record_timings([("key-a", "gemv", 1.5)])
+        path = cache / "meta" / "timings.json"
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])      # torn write
+        runner_mod._WARNED_TIMINGS.clear()
+        with pytest.warns(RuntimeWarning, match="timings sidecar"):
+            assert load_timings() == {}
+        # Only once per path: a sweep calling load_timings per plan
+        # doesn't spam.
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert load_timings() == {}
+        # Recording again replaces the torn file with a good one.
+        record_timings([("key-b", "fft", 3.0)])
+        timings = load_timings()
+        assert point_digest("key-b") in timings
+        assert point_digest("key-a") not in timings   # torn data is gone
 
     def test_sweep_records_measured_timings(self, cache):
         point = SweepPoint(configs.baseline(), "gemv", SCALE)
@@ -375,6 +444,24 @@ class TestProgressEta:
         reporter = _Progress(total=4, cached=2, enabled=True)
         reporter.update(done=2, running=2)
         assert "ETA" not in capsys.readouterr().err
+
+    def test_all_cached_first_update_reports_eta_zero(self, capsys):
+        """Every point a cache hit in the first reporting interval: the
+        ETA is an honest 0, never inf or a ZeroDivisionError."""
+        reporter = _Progress(total=3, cached=3, enabled=True)
+        snap = reporter.snapshot(done=3, running=0)
+        assert snap["eta_seconds"] == 0.0
+        reporter.update(done=3, running=0)
+        assert "ETA 0s" in capsys.readouterr().err
+
+    def test_all_cached_sweep_observer_sees_eta_zero(self, cache):
+        points = [SweepPoint(configs.baseline(), "gemv", SCALE)]
+        sweep(points, progress=False)
+        snaps: list[dict] = []
+        out = sweep(points, progress=False, observer=snaps.append)
+        assert out.stats.cached == 1 and out.stats.simulated == 0
+        assert snaps, "the final observer snapshot must still be emitted"
+        assert all(s["eta_seconds"] == 0.0 for s in snaps)
 
     def test_serial_sweep_emits_final_update(self, cache, capsys):
         sweep([SweepPoint(configs.baseline(), "gemv", SCALE)],
